@@ -1,0 +1,248 @@
+package adp
+
+import (
+	"github.com/tukwila/adp/internal/algebra"
+	"github.com/tukwila/adp/internal/core"
+	"github.com/tukwila/adp/internal/datagen"
+	"github.com/tukwila/adp/internal/engine"
+	"github.com/tukwila/adp/internal/exec"
+	"github.com/tukwila/adp/internal/expr"
+	"github.com/tukwila/adp/internal/opt"
+	"github.com/tukwila/adp/internal/source"
+	"github.com/tukwila/adp/internal/types"
+)
+
+// ---- Values, tuples, schemas ------------------------------------------
+
+// Kind is a scalar type tag.
+type Kind = types.Kind
+
+// Scalar kinds.
+const (
+	KindNull   = types.KindNull
+	KindInt    = types.KindInt
+	KindFloat  = types.KindFloat
+	KindString = types.KindString
+)
+
+// Value is a dynamically typed scalar.
+type Value = types.Value
+
+// Tuple is a row: a vector of values aligned with a Schema.
+type Tuple = types.Tuple
+
+// Schema describes a tuple layout.
+type Schema = types.Schema
+
+// Col is one schema column.
+type Col = types.Column
+
+// Scalar constructors.
+var (
+	// Int builds an integer value.
+	Int = types.Int
+	// Float builds a float value.
+	Float = types.Float
+	// Str builds a string value.
+	Str = types.Str
+	// Null builds the NULL value.
+	Null = types.Null
+	// NewSchema builds a schema from columns.
+	NewSchema = types.NewSchema
+)
+
+// ---- Expressions -------------------------------------------------------
+
+// Expr is a scalar expression; Predicate is a boolean one.
+type (
+	// Expr is a scalar expression over tuples.
+	Expr = expr.Expr
+	// Predicate is a boolean expression over tuples.
+	Predicate = expr.Predicate
+)
+
+// Expression constructors.
+var (
+	// Column references a (possibly qualified) column.
+	Column = expr.Column
+	// IntLit, FloatLit, StrLit build literals.
+	IntLit   = expr.IntLit
+	FloatLit = expr.FloatLit
+	StrLit   = expr.StrLit
+	// Arithmetic.
+	Add = expr.Add
+	Sub = expr.Sub
+	Mul = expr.Mul
+	Div = expr.Div
+	// Comparisons.
+	Eq = expr.Eq
+	Ne = expr.Ne
+	Lt = expr.Lt
+	Le = expr.Le
+	Gt = expr.Gt
+	Ge = expr.Ge
+	// Connectives.
+	And = expr.AndOf
+	Or  = expr.OrOf
+	Not = expr.NotOf
+)
+
+// ---- Queries -----------------------------------------------------------
+
+// Query is a validated select-project-join-aggregate query.
+type Query = algebra.Query
+
+// AggKind names an aggregate function.
+type AggKind = algebra.AggKind
+
+// Aggregate functions (all distribute over union, enabling ADP's shared
+// group-by and pre-aggregation).
+const (
+	AggMin   = algebra.AggMin
+	AggMax   = algebra.AggMax
+	AggSum   = algebra.AggSum
+	AggCount = algebra.AggCount
+	AggAvg   = algebra.AggAvg
+)
+
+// ---- Sources -----------------------------------------------------------
+
+// Relation is an in-memory table registered with the engine.
+type Relation = source.Relation
+
+// NewRelation builds a relation from a schema and rows.
+var NewRelation = source.NewRelation
+
+// Schedule assigns virtual arrival times to a remote source's tuples.
+type Schedule = source.Schedule
+
+// Delivery schedules.
+type (
+	// Immediate delivers everything at t=0 (local data).
+	Immediate = source.Immediate
+	// Bandwidth delivers at a constant tuple rate.
+	Bandwidth = source.Bandwidth
+	// Bursty models a congested wireless-style link.
+	Bursty = source.Bursty
+)
+
+// NewBursty precomputes a deterministic bursty arrival schedule.
+var NewBursty = source.NewBursty
+
+// Dataset-shaping helpers (experiments, demos).
+var (
+	// SortBy returns a copy of a relation sorted on one column.
+	SortBy = source.SortBy
+	// ReorderFraction randomly displaces a fraction of tuples.
+	ReorderFraction = source.ReorderFraction
+	// Shuffle fully randomizes row order.
+	Shuffle = source.Shuffle
+)
+
+// ---- Engine ------------------------------------------------------------
+
+// Engine owns a catalog of sources and executes queries.
+type Engine = engine.Engine
+
+// NewEngine creates an empty engine.
+func NewEngine() *Engine { return engine.New() }
+
+// Strategy selects the execution regime.
+type Strategy = core.Strategy
+
+// Execution strategies.
+const (
+	// StrategyStatic optimizes once and runs to completion.
+	StrategyStatic = core.Static
+	// StrategyCorrective runs corrective query processing: monitor,
+	// switch plans mid-stream, stitch up at the end (the paper's §4).
+	StrategyCorrective = core.Corrective
+	// StrategyPlanPartition materializes after a fixed number of joins
+	// and re-optimizes the remainder (the §4.4 baseline).
+	StrategyPlanPartition = core.PlanPartition
+)
+
+// PreAggMode selects pre-aggregation handling (the paper's §6).
+type PreAggMode = opt.PreAggMode
+
+// Pre-aggregation modes.
+const (
+	// PreAggNone aggregates only at the top of the plan.
+	PreAggNone = opt.PreAggNone
+	// PreAggTraditional inserts a blocking pre-aggregate where estimated
+	// beneficial.
+	PreAggTraditional = opt.PreAggTraditional
+	// PreAggWindowed inserts the adjustable-window operator everywhere it
+	// applies; it self-regulates at runtime.
+	PreAggWindowed = opt.PreAggWindowed
+)
+
+// Options configures one execution.
+type Options = core.Options
+
+// Report is the outcome: rows plus the adaptive-execution narrative.
+type Report = core.Report
+
+// PhaseInfo describes one executed phase.
+type PhaseInfo = core.PhaseInfo
+
+// FormatRows renders result rows as an aligned text table.
+var FormatRows = engine.FormatRows
+
+// ---- Direct operator access (advanced) ----------------------------------
+
+// HashJoin is the binary hash-join push operator (pipelined/symmetric,
+// build-then-probe, or nested-loops style).
+type HashJoin = exec.HashJoin
+
+// NewHashJoin builds a join node delivering concatenated (left ++ right)
+// tuples to a sink.
+var NewHashJoin = exec.NewHashJoin
+
+// JoinStyle selects the join's iterator module.
+type JoinStyle = exec.JoinStyle
+
+// Join styles.
+const (
+	// JoinPipelined is the symmetric (data-availability-driven) hash join.
+	JoinPipelined = exec.Pipelined
+	// JoinBuildThenProbe is the hybrid-hash style.
+	JoinBuildThenProbe = exec.BuildThenProbe
+	// JoinNestedLoops buffers the inner side in a list.
+	JoinNestedLoops = exec.NestedLoops
+)
+
+// ComplementaryJoin is the merge/hash complementary join pair of §5.
+type ComplementaryJoin = core.ComplementaryJoin
+
+// NewComplementaryJoin builds a pair; pqCap > 0 enables the priority-queue
+// router (DefaultPQCap reproduces the paper's 1024).
+var NewComplementaryJoin = core.NewComplementaryJoin
+
+// DefaultPQCap is the paper's reorder-buffer capacity.
+const DefaultPQCap = core.DefaultPQCap
+
+// ExecContext carries the virtual clock and cost model for direct operator
+// use.
+type ExecContext = exec.Context
+
+// NewExecContext creates a fresh context.
+var NewExecContext = exec.NewContext
+
+// Sink receives tuples from push operators.
+type Sink = exec.Sink
+
+// SinkFunc adapts a function to a Sink.
+type SinkFunc = exec.SinkFunc
+
+// ---- TPC-H-style data generation ----------------------------------------
+
+// DatagenConfig configures the synthetic TPC-H-style generator.
+type DatagenConfig = datagen.Config
+
+// Dataset is a generated database.
+type Dataset = datagen.Dataset
+
+// GenerateDataset builds a dataset (uniform, or Zipf-skewed with
+// Skewed: true as in the paper's skewed TPC-D variant).
+var GenerateDataset = datagen.Generate

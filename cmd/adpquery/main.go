@@ -1,0 +1,105 @@
+// Command adpquery runs one workload query over a generated TPC-H-style
+// dataset under a chosen execution strategy and prints the results plus
+// the adaptive-execution report.
+//
+// Usage:
+//
+//	adpquery -query Q10A -strategy corrective -sf 0.01
+//	adpquery -query Q5 -strategy static -cards -skewed
+//	adpquery -query Q3A -strategy corrective -wireless
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tukwila/adp/internal/core"
+	"github.com/tukwila/adp/internal/datagen"
+	"github.com/tukwila/adp/internal/engine"
+	"github.com/tukwila/adp/internal/opt"
+	"github.com/tukwila/adp/internal/source"
+	"github.com/tukwila/adp/internal/workload"
+)
+
+func main() {
+	var (
+		query    = flag.String("query", "Q3A", "workload query (Q3|Q3A|Q10|Q10A|Q5)")
+		strategy = flag.String("strategy", "corrective", "execution strategy (static|corrective|planpart)")
+		sf       = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		skewed   = flag.Bool("skewed", false, "use the Zipf-skewed dataset")
+		cards    = flag.Bool("cards", false, "give the optimizer exact cardinalities")
+		wireless = flag.Bool("wireless", false, "deliver sources over a simulated bursty link")
+		preagg   = flag.String("preagg", "none", "pre-aggregation (none|windowed|traditional)")
+		limit    = flag.Int("limit", 10, "result rows to print")
+		poll     = flag.Int("poll", 2048, "corrective polling interval (tuples)")
+	)
+	flag.Parse()
+	if err := run(*query, *strategy, *sf, *seed, *skewed, *cards, *wireless, *preagg, *limit, *poll); err != nil {
+		fmt.Fprintln(os.Stderr, "adpquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(query, strategy string, sf float64, seed int64, skewed, cards, wireless bool, preagg string, limit, poll int) error {
+	q, err := workload.ByName(query)
+	if err != nil {
+		return err
+	}
+	var strat core.Strategy
+	switch strategy {
+	case "static":
+		strat = core.Static
+	case "corrective":
+		strat = core.Corrective
+	case "planpart":
+		strat = core.PlanPartition
+	default:
+		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+	var pa opt.PreAggMode
+	switch preagg {
+	case "none":
+		pa = opt.PreAggNone
+	case "windowed":
+		pa = opt.PreAggWindowed
+	case "traditional":
+		pa = opt.PreAggTraditional
+	default:
+		return fmt.Errorf("unknown preagg mode %q", preagg)
+	}
+
+	fmt.Printf("generating TPC-H sf=%g (skewed=%v) ...\n", sf, skewed)
+	d := datagen.Generate(datagen.Config{ScaleFactor: sf, Seed: seed, Skewed: skewed, Z: datagen.DefaultZ})
+	var sched func(rel *source.Relation) source.Schedule
+	if wireless {
+		sched = func(rel *source.Relation) source.Schedule {
+			return source.NewBursty(rel.Len(), 1_000_000, 8000, 0.01, seed+int64(rel.Len()))
+		}
+	}
+	cat := core.NewCatalog(d.Relations(), sched)
+	o := core.Options{Strategy: strat, PollEvery: poll, PreAgg: pa}
+	if cards {
+		o.Known = workload.KnownCards(d)
+	}
+	rep, err := core.Run(cat, q, o)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%s (%s) — %d result rows\n", q.Name, strat, len(rep.Rows))
+	fmt.Print(engine.FormatRows(rep.Schema, rep.Rows, limit))
+	fmt.Printf("\nexecution report:\n")
+	fmt.Printf("  virtual time   %.3fs (cpu %.3fs, wall %.3fs)\n",
+		rep.VirtualSeconds, rep.CPUSeconds, rep.RealSeconds)
+	fmt.Printf("  phases         %d (switches %d)\n", len(rep.Phases), rep.Switches)
+	for i, p := range rep.Phases {
+		fmt.Printf("    phase %d: %d tuples, %.3fs\n      %s\n", i, p.Delivered, p.Seconds, p.Plan)
+	}
+	if rep.StitchCombos > 0 {
+		fmt.Printf("  stitch-up      %.3fs, %d combinations, %d tuples reused, %d discarded\n",
+			rep.StitchTime, rep.StitchCombos, rep.Reused, rep.Discarded)
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+// Package adp is a Go implementation of adaptive data partitioning (ADP)
+// query processing, reproducing "Adapting to Source Properties in
+// Processing Data Integration Queries" (Ives, Halevy, Weld — SIGMOD 2004),
+// the Tukwila adaptive query processing architecture.
+//
+// Data integration systems query autonomous sources about which almost
+// nothing is known in advance — no cardinalities, no ordering guarantees,
+// no histograms — so a statically chosen plan is often wrong. ADP responds
+// by dividing the source data into regions executed by different,
+// complementary plans:
+//
+//   - Corrective query processing (StrategyCorrective) monitors the
+//     running plan, re-optimizes in the background from observed
+//     selectivities and cardinalities, switches to a better plan
+//     mid-pipeline, and computes a final stitch-up phase joining data
+//     across the phases while reusing materialized intermediate results.
+//   - Complementary join pairs (NewComplementaryJoin) speculate that
+//     inputs are (mostly) sorted: a router sends in-order tuples to a
+//     cheap merge join and out-of-order tuples to a pipelined hash join,
+//     with a mini stitch-up joining across the two partitions.
+//   - Adjustable-window pre-aggregation (via PreAggWindowed) inserts a
+//     pipelined pre-aggregation operator at every eligible point and
+//     adapts its window to the observed coalescing ratio, so grouping is
+//     pushed down exactly where the data rewards it.
+//
+// # Quick start
+//
+//	eng := adp.NewEngine()
+//	eng.Register(ordersRelation)
+//	eng.Register(customersRelation)
+//	q := eng.Query("spend").
+//		From("orders", "customers").
+//		Join("orders", "custkey", "customers", "custkey").
+//		GroupBy("customers.name").
+//		Agg(adp.AggSum, adp.Column("orders.total"), "spend").
+//		MustBuild()
+//	report, err := eng.Execute(q, adp.Options{Strategy: adp.StrategyCorrective})
+//
+// The Report carries result rows plus the execution narrative: phases run,
+// plans used, stitch-up time, and tuples reused from prior phases.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured results; cmd/adpbench regenerates every table and
+// figure of the paper's evaluation.
+package adp

@@ -1,0 +1,80 @@
+// Quickstart: build a small catalog, run a grouped join with corrective
+// query processing, and read the adaptive-execution report.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	adp "github.com/tukwila/adp"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// Two sources: orders and customers. In a data-integration setting
+	// these would be autonomous remote sources with unknown sizes.
+	orders := adp.NewRelation("orders", adp.NewSchema(
+		adp.Col{Name: "orders.id", Kind: adp.KindInt},
+		adp.Col{Name: "orders.custkey", Kind: adp.KindInt},
+		adp.Col{Name: "orders.total", Kind: adp.KindFloat},
+	), nil)
+	for i := int64(0); i < 10000; i++ {
+		orders.Rows = append(orders.Rows, adp.Tuple{
+			adp.Int(i),
+			adp.Int(rng.Int63n(200)),
+			adp.Float(10 + rng.Float64()*990),
+		})
+	}
+	customers := adp.NewRelation("customers", adp.NewSchema(
+		adp.Col{Name: "customers.custkey", Kind: adp.KindInt},
+		adp.Col{Name: "customers.name", Kind: adp.KindString},
+		adp.Col{Name: "customers.country", Kind: adp.KindString},
+	), nil)
+	countries := []string{"FR", "DE", "US", "JP", "BR"}
+	for i := int64(0); i < 200; i++ {
+		customers.Rows = append(customers.Rows, adp.Tuple{
+			adp.Int(i),
+			adp.Str(fmt.Sprintf("Customer#%03d", i)),
+			adp.Str(countries[rng.Intn(len(countries))]),
+		})
+	}
+
+	eng := adp.NewEngine()
+	eng.Register(orders)
+	eng.Register(customers)
+
+	// Total and average spend per country for large orders.
+	q := eng.Query("spend-by-country").
+		From("orders", "customers").
+		Join("orders", "custkey", "customers", "custkey").
+		Where("orders", adp.Gt(adp.Column("orders.total"), adp.FloatLit(100))).
+		GroupBy("customers.country").
+		Agg(adp.AggSum, adp.Column("orders.total"), "total_spend").
+		Agg(adp.AggAvg, adp.Column("orders.total"), "avg_spend").
+		Agg(adp.AggCount, nil, "orders").
+		MustBuild()
+
+	// Corrective query processing: the engine starts with a default plan
+	// (it knows nothing about the sources), monitors execution, and will
+	// switch plans mid-stream if observations reveal a better one.
+	rep, err := eng.Execute(q, adp.Options{
+		Strategy:  adp.StrategyCorrective,
+		PollEvery: 512,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(adp.FormatRows(rep.Schema, rep.Rows, 0))
+	fmt.Printf("strategy=%v phases=%d switches=%d virtual=%.4fs\n",
+		rep.Strategy, len(rep.Phases), rep.Switches, rep.VirtualSeconds)
+	for i, p := range rep.Phases {
+		fmt.Printf("  phase %d (%d tuples): %s\n", i, p.Delivered, p.Plan)
+	}
+	if rep.StitchCombos > 0 {
+		fmt.Printf("  stitch-up: %d combinations, %d tuples reused\n",
+			rep.StitchCombos, rep.Reused)
+	}
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tukwila/adp/internal/core"
+	"github.com/tukwila/adp/internal/datagen"
+	"github.com/tukwila/adp/internal/opt"
+	"github.com/tukwila/adp/internal/workload"
+)
+
+// Fig6Result is one bar of Figure 6.
+type Fig6Result struct {
+	Query   string
+	Dataset string
+	Mode    string // "single" | "windowed" | "traditional"
+	Seconds float64
+	Groups  int
+}
+
+// Figure6 compares final-aggregation-only execution against
+// adjustable-window pre-aggregation and traditional pre-aggregation for
+// the workload queries over uniform and skewed data (§6). Traditional
+// pre-aggregation is inserted only where the optimizer estimates a
+// benefit, matching the paper's "applied only where it was beneficial".
+func Figure6(cfg Config) ([]Fig6Result, error) {
+	cfg.defaults()
+	uni, skw := cfg.datasets()
+	var out []Fig6Result
+	for _, qname := range cfg.Queries {
+		for _, ds := range []struct {
+			name string
+			d    *datagen.Dataset
+		}{{"uniform", uni}, {"skewed", skw}} {
+			for _, mode := range []struct {
+				label string
+				m     opt.PreAggMode
+			}{
+				{"single", opt.PreAggNone},
+				{"windowed", opt.PreAggWindowed},
+				{"traditional", opt.PreAggTraditional},
+			} {
+				q, err := workload.ByName(qname)
+				if err != nil {
+					return nil, err
+				}
+				cat := core.NewCatalog(ds.d.Relations(), nil)
+				rep, err := core.Run(cat, q, core.Options{
+					Strategy: core.Static,
+					Known:    workload.KnownCards(ds.d),
+					PreAgg:   mode.m,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/%s: %w", qname, ds.name, mode.label, err)
+				}
+				out = append(out, Fig6Result{
+					Query:   qname,
+					Dataset: ds.name,
+					Mode:    mode.label,
+					Seconds: rep.VirtualSeconds,
+					Groups:  len(rep.Rows),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// FormatFigure6 renders the pre-aggregation comparison.
+func FormatFigure6(rs []Fig6Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 6: pre-aggregation strategies\n")
+	fmt.Fprintf(&b, "%-6s %-8s | %12s %12s %12s\n",
+		"query", "dataset", "single", "windowed", "traditional")
+	b.WriteString(strings.Repeat("-", 62) + "\n")
+	type key struct{ q, d string }
+	m := map[key]map[string]float64{}
+	var order []key
+	for _, r := range rs {
+		k := key{r.Query, r.Dataset}
+		if m[k] == nil {
+			m[k] = map[string]float64{}
+			order = append(order, k)
+		}
+		m[k][r.Mode] = r.Seconds
+	}
+	for _, k := range order {
+		fmt.Fprintf(&b, "%-6s %-8s | %11.3fs %11.3fs %11.3fs\n",
+			k.q, k.d, m[k]["single"], m[k]["windowed"], m[k]["traditional"])
+	}
+	return b.String()
+}

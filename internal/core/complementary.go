@@ -1,0 +1,247 @@
+package core
+
+import (
+	"container/heap"
+
+	"github.com/tukwila/adp/internal/exec"
+	"github.com/tukwila/adp/internal/state"
+	"github.com/tukwila/adp/internal/types"
+)
+
+// DefaultPQCap is the paper's reorder buffer size: "a priority queue
+// (holding up to 1024 tuples) to reorder recently received elements
+// before routing them" (§5).
+const DefaultPQCap = 1024
+
+// CompJoinStats instruments the complementary pair for Table 3: how many
+// tuples each component routed and produced.
+type CompJoinStats struct {
+	MergeRoutedLeft  int64
+	MergeRoutedRight int64
+	HashRoutedLeft   int64
+	HashRoutedRight  int64
+	MergeOut         int64
+	HashOut          int64
+	StitchOut        int64
+}
+
+// ComplementaryJoin is the complementary join pair of Figure 4: a merge
+// join and a pipelined hash join sharing four hash tables. A split
+// (router) operator sends each input tuple to the merge join when it
+// conforms to the speculated ascending key order and to the hash join
+// otherwise; an optional per-input priority queue reorders recently
+// received tuples before routing. After both inputs finish, a mini
+// stitch-up joins each side's hash-partition against the other side's
+// merge-partition.
+type ComplementaryJoin struct {
+	ctx      *exec.Context
+	out      exec.Sink
+	leftKey  []int
+	rightKey []int
+	merge    *exec.MergeJoin
+	hash     *exec.HashJoin
+
+	// PQCap enables the priority-queue router when > 0.
+	pqLeft  *tupleHeap
+	pqRight *tupleHeap
+
+	lastLeft  []types.Value // highest key sent to the merge join (left)
+	lastRight []types.Value
+
+	Stats    CompJoinStats
+	finished bool
+}
+
+// NewComplementaryJoin builds the pair. pqCap <= 0 selects the naive
+// router; DefaultPQCap reproduces the paper's configuration.
+func NewComplementaryJoin(ctx *exec.Context, leftSchema, rightSchema *types.Schema, leftKey, rightKey []int, pqCap int, out exec.Sink) *ComplementaryJoin {
+	c := &ComplementaryJoin{
+		ctx:      ctx,
+		out:      out,
+		leftKey:  leftKey,
+		rightKey: rightKey,
+	}
+	c.merge = exec.NewMergeJoin(ctx, leftSchema, rightSchema, leftKey, rightKey,
+		exec.SinkFunc(func(t types.Tuple) { c.Stats.MergeOut++; out.Push(t) }))
+	c.hash = exec.NewHashJoin(ctx, exec.Pipelined, leftSchema, rightSchema, leftKey, rightKey,
+		exec.SinkFunc(func(t types.Tuple) { c.Stats.HashOut++; out.Push(t) }))
+	if pqCap > 0 {
+		c.pqLeft = newTupleHeap(leftKey, pqCap)
+		c.pqRight = newTupleHeap(rightKey, pqCap)
+	}
+	return c
+}
+
+// Schema returns the output layout (left ++ right).
+func (c *ComplementaryJoin) Schema() *types.Schema { return c.hash.Schema() }
+
+// PushLeft feeds a left-input tuple through the router.
+func (c *ComplementaryJoin) PushLeft(t types.Tuple) {
+	if c.pqLeft != nil {
+		if evicted, ok := c.pqLeft.offer(t); ok {
+			c.routeLeft(evicted)
+		}
+		return
+	}
+	c.routeLeft(t)
+}
+
+// PushRight feeds a right-input tuple through the router.
+func (c *ComplementaryJoin) PushRight(t types.Tuple) {
+	if c.pqRight != nil {
+		if evicted, ok := c.pqRight.offer(t); ok {
+			c.routeRight(evicted)
+		}
+		return
+	}
+	c.routeRight(t)
+}
+
+func (c *ComplementaryJoin) routeLeft(t types.Tuple) {
+	k := keyOf(t, c.leftKey)
+	c.ctx.Clock.Charge(c.ctx.Cost.Compare)
+	if c.lastLeft == nil || cmpVals2(c.lastLeft, k) <= 0 {
+		c.lastLeft = k
+		c.Stats.MergeRoutedLeft++
+		// The router guarantees order, so the error path is unreachable.
+		_ = c.merge.PushLeft(t)
+		return
+	}
+	c.Stats.HashRoutedLeft++
+	c.hash.PushLeft(t)
+}
+
+func (c *ComplementaryJoin) routeRight(t types.Tuple) {
+	k := keyOf(t, c.rightKey)
+	c.ctx.Clock.Charge(c.ctx.Cost.Compare)
+	if c.lastRight == nil || cmpVals2(c.lastRight, k) <= 0 {
+		c.lastRight = k
+		c.Stats.MergeRoutedRight++
+		_ = c.merge.PushRight(t)
+		return
+	}
+	c.Stats.HashRoutedRight++
+	c.hash.PushRight(t)
+}
+
+// Finish drains the reorder buffers, closes both joins, and performs the
+// mini stitch-up: h(L)hash ⋈ h(R)merge and h(L)merge ⋈ h(R)hash, choosing
+// scan/probe sides by size as the stitch-up join does (§3.4.3).
+func (c *ComplementaryJoin) Finish() {
+	if c.finished {
+		return
+	}
+	c.finished = true
+	if c.pqLeft != nil {
+		c.pqLeft.drain(c.routeLeft)
+	}
+	if c.pqRight != nil {
+		c.pqRight.drain(c.routeRight)
+	}
+	c.merge.FinishLeft()
+	c.merge.FinishRight()
+	c.hash.FinishLeft()
+	c.hash.FinishRight()
+
+	hashL, hashR := c.hash.Tables()
+	mergeL, mergeR := c.merge.Tables()
+	c.stitch(hashL, mergeR)
+	c.stitch(mergeL, hashR)
+}
+
+// stitch cross-joins a left-side table against a right-side table,
+// scanning the smaller and probing the larger.
+func (c *ComplementaryJoin) stitch(left, right state.Keyed) {
+	if left.Len() == 0 || right.Len() == 0 {
+		return
+	}
+	emit := func(lt, rt types.Tuple) {
+		c.ctx.Clock.Charge(c.ctx.Cost.Move)
+		c.Stats.StitchOut++
+		c.out.Push(lt.Concat(rt))
+	}
+	if left.Len() <= right.Len() {
+		left.Scan(func(lt types.Tuple) bool {
+			c.ctx.Clock.Charge(c.ctx.Cost.HashProbe)
+			right.Probe(keyOf(lt, left.KeyCols()), func(rt types.Tuple) bool {
+				emit(lt, rt)
+				return true
+			})
+			return true
+		})
+	} else {
+		right.Scan(func(rt types.Tuple) bool {
+			c.ctx.Clock.Charge(c.ctx.Cost.HashProbe)
+			left.Probe(keyOf(rt, right.KeyCols()), func(lt types.Tuple) bool {
+				emit(lt, rt)
+				return true
+			})
+			return true
+		})
+	}
+}
+
+func keyOf(t types.Tuple, cols []int) []types.Value {
+	out := make([]types.Value, len(cols))
+	for i, c := range cols {
+		out[i] = t[c]
+	}
+	return out
+}
+
+func cmpVals2(a, b []types.Value) int {
+	for i := range a {
+		if c := types.Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// tupleHeap is a bounded min-heap keyed on tuple columns: the priority
+// queue of the sophisticated router. offer returns the evicted minimum
+// once the buffer is full.
+type tupleHeap struct {
+	keyCols []int
+	cap     int
+	items   []types.Tuple
+}
+
+func newTupleHeap(keyCols []int, cap int) *tupleHeap {
+	return &tupleHeap{keyCols: keyCols, cap: cap}
+}
+
+// Len, Less, Swap, Push, Pop implement heap.Interface.
+func (h *tupleHeap) Len() int { return len(h.items) }
+func (h *tupleHeap) Less(i, j int) bool {
+	return types.CompareKey(h.items[i], h.keyCols, h.items[j], h.keyCols) < 0
+}
+func (h *tupleHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+// Push implements heap.Interface.
+func (h *tupleHeap) Push(x any) { h.items = append(h.items, x.(types.Tuple)) }
+
+// Pop implements heap.Interface.
+func (h *tupleHeap) Pop() any {
+	n := len(h.items)
+	it := h.items[n-1]
+	h.items = h.items[:n-1]
+	return it
+}
+
+// offer inserts t; when the buffer exceeds capacity the minimum element
+// is evicted and returned.
+func (h *tupleHeap) offer(t types.Tuple) (types.Tuple, bool) {
+	heap.Push(h, t)
+	if len(h.items) > h.cap {
+		return heap.Pop(h).(types.Tuple), true
+	}
+	return nil, false
+}
+
+// drain pops remaining elements in key order.
+func (h *tupleHeap) drain(route func(types.Tuple)) {
+	for len(h.items) > 0 {
+		route(heap.Pop(h).(types.Tuple))
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/tukwila/adp/internal/exec"
+	"github.com/tukwila/adp/internal/source"
+	"github.com/tukwila/adp/internal/types"
+)
+
+var (
+	lSchema = types.NewSchema(
+		types.Column{Name: "l.k", Kind: types.KindInt},
+		types.Column{Name: "l.v", Kind: types.KindInt},
+	)
+	oSchema = types.NewSchema(
+		types.Column{Name: "o.k", Kind: types.KindInt},
+		types.Column{Name: "o.v", Kind: types.KindInt},
+	)
+)
+
+// mkSortedFK builds a key-side relation (unique sorted keys 0..nKeys-1)
+// and an FK side with fanout lines per key, sorted by key.
+func mkSortedFK(nKeys, fanout int) (keys, fks []types.Tuple) {
+	for k := 0; k < nKeys; k++ {
+		keys = append(keys, types.Tuple{types.Int(int64(k)), types.Int(int64(k))})
+		for l := 0; l < fanout; l++ {
+			fks = append(fks, types.Tuple{types.Int(int64(k)), types.Int(int64(l))})
+		}
+	}
+	return
+}
+
+func reorder(rows []types.Tuple, frac float64, seed int64) []types.Tuple {
+	out := append([]types.Tuple(nil), rows...)
+	rng := rand.New(rand.NewSource(seed))
+	swaps := int(frac * float64(len(out)) / 2)
+	for i := 0; i < swaps; i++ {
+		a, b := rng.Intn(len(out)), rng.Intn(len(out))
+		out[a], out[b] = out[b], out[a]
+	}
+	return out
+}
+
+// runPair feeds both inputs interleaved into a complementary join and
+// returns the number of output tuples plus the stats.
+func runPair(t *testing.T, ls, rs []types.Tuple, pqCap int) (int, CompJoinStats) {
+	t.Helper()
+	ctx := exec.NewContext()
+	n := 0
+	cj := NewComplementaryJoin(ctx, lSchema, oSchema, []int{0}, []int{0}, pqCap,
+		exec.SinkFunc(func(types.Tuple) { n++ }))
+	i, k := 0, 0
+	for i < len(ls) || k < len(rs) {
+		if i < len(ls) {
+			cj.PushLeft(ls[i])
+			i++
+		}
+		if k < len(rs) {
+			cj.PushRight(rs[k])
+			k++
+		}
+	}
+	cj.Finish()
+	cj.Finish() // idempotent
+	return n, cj.Stats
+}
+
+func refJoinCount(ls, rs []types.Tuple) int {
+	byKey := map[int64]int{}
+	for _, r := range rs {
+		byKey[r[0].I]++
+	}
+	n := 0
+	for _, l := range ls {
+		n += byKey[l[0].I]
+	}
+	return n
+}
+
+func TestComplementaryJoinSortedAllMerge(t *testing.T) {
+	keys, fks := mkSortedFK(300, 4)
+	want := refJoinCount(fks, keys)
+	got, st := runPair(t, fks, keys, 0)
+	if got != want {
+		t.Fatalf("output = %d, want %d", got, want)
+	}
+	if st.HashRoutedLeft+st.HashRoutedRight != 0 {
+		t.Errorf("sorted input should route everything to merge: %+v", st)
+	}
+	if st.MergeOut != int64(want) || st.StitchOut != 0 || st.HashOut != 0 {
+		t.Errorf("sorted input join distribution wrong: %+v", st)
+	}
+}
+
+func TestComplementaryJoinEquivalenceUnderReordering(t *testing.T) {
+	keys, fks := mkSortedFK(250, 3)
+	want := refJoinCount(fks, keys)
+	for _, frac := range []float64{0, 0.01, 0.1, 0.5, 1.0} {
+		for _, pq := range []int{0, 64, DefaultPQCap} {
+			ls := reorder(fks, frac, 42)
+			rs := reorder(keys, frac, 43)
+			got, st := runPair(t, ls, rs, pq)
+			if got != want {
+				t.Fatalf("frac=%g pq=%d: output = %d, want %d (stats %+v)", frac, pq, got, want, st)
+			}
+			total := st.MergeOut + st.HashOut + st.StitchOut
+			if total != int64(want) {
+				t.Fatalf("frac=%g pq=%d: component outputs %d != total %d", frac, pq, total, want)
+			}
+		}
+	}
+}
+
+func TestPriorityQueueKeepsMergeUseful(t *testing.T) {
+	// At 1% reordering, the naive router collapses to hash after the
+	// first out-of-order tuple poisons the watermark; the priority queue
+	// should keep the merge join dominant (§5, Table 3).
+	keys, fks := mkSortedFK(2000, 3)
+	ls := reorder(fks, 0.01, 7)
+	rs := reorder(keys, 0.01, 8)
+
+	_, naive := runPair(t, ls, rs, 0)
+	_, pq := runPair(t, append([]types.Tuple(nil), ls...), append([]types.Tuple(nil), rs...), DefaultPQCap)
+
+	naiveMergeFrac := float64(naive.MergeRoutedLeft+naive.MergeRoutedRight) /
+		float64(naive.MergeRoutedLeft+naive.MergeRoutedRight+naive.HashRoutedLeft+naive.HashRoutedRight)
+	pqMergeFrac := float64(pq.MergeRoutedLeft+pq.MergeRoutedRight) /
+		float64(pq.MergeRoutedLeft+pq.MergeRoutedRight+pq.HashRoutedLeft+pq.HashRoutedRight)
+	if pqMergeFrac <= naiveMergeFrac {
+		t.Errorf("pq merge fraction %.3f should exceed naive %.3f", pqMergeFrac, naiveMergeFrac)
+	}
+	if pqMergeFrac < 0.9 {
+		t.Errorf("pq should keep >90%% of 1%%-reordered data in merge, got %.3f", pqMergeFrac)
+	}
+}
+
+func TestComplementaryFasterThanHashOnSorted(t *testing.T) {
+	// Virtual-time comparison on fully sorted data: the pair should beat
+	// a plain pipelined hash join (merge comparisons < hash operations).
+	keys, fks := mkSortedFK(3000, 3)
+
+	hashCtx := exec.NewContext()
+	hj := exec.NewHashJoin(hashCtx, exec.Pipelined, lSchema, oSchema, []int{0}, []int{0}, exec.Discard)
+	i, k := 0, 0
+	for i < len(fks) || k < len(keys) {
+		if i < len(fks) {
+			hj.PushLeft(fks[i])
+			i++
+		}
+		if k < len(keys) {
+			hj.PushRight(keys[k])
+			k++
+		}
+	}
+	hj.FinishLeft()
+	hj.FinishRight()
+
+	pairCtx := exec.NewContext()
+	cj := NewComplementaryJoin(pairCtx, lSchema, oSchema, []int{0}, []int{0}, 0, exec.Discard)
+	i, k = 0, 0
+	for i < len(fks) || k < len(keys) {
+		if i < len(fks) {
+			cj.PushLeft(fks[i])
+			i++
+		}
+		if k < len(keys) {
+			cj.PushRight(keys[k])
+			k++
+		}
+	}
+	cj.Finish()
+
+	if pairCtx.Clock.CPU >= hashCtx.Clock.CPU {
+		t.Errorf("complementary pair CPU %.6f should beat hash join %.6f on sorted data",
+			pairCtx.Clock.CPU, hashCtx.Clock.CPU)
+	}
+}
+
+func TestComplementaryViaProviders(t *testing.T) {
+	// Drive the pair through source providers with bursty schedules, as
+	// the Figure 5 experiment does.
+	keys, fks := mkSortedFK(500, 2)
+	lRel := source.NewRelation("l", lSchema, fks)
+	oRel := source.NewRelation("o", oSchema, keys)
+	lp := source.NewProvider(lRel, source.NewBursty(len(fks), 10000, 100, 0.01, 1))
+	op := source.NewProvider(oRel, source.NewBursty(len(keys), 10000, 100, 0.01, 2))
+
+	ctx := exec.NewContext()
+	n := 0
+	cj := NewComplementaryJoin(ctx, lSchema, oSchema, []int{0}, []int{0}, DefaultPQCap,
+		exec.SinkFunc(func(types.Tuple) { n++ }))
+	d := exec.NewDriver(ctx,
+		&exec.Leaf{Provider: lp, Push: cj.PushLeft},
+		&exec.Leaf{Provider: op, Push: cj.PushRight},
+	)
+	d.Run(0, nil)
+	cj.Finish()
+	if n != refJoinCount(fks, keys) {
+		t.Fatalf("output = %d, want %d", n, refJoinCount(fks, keys))
+	}
+	if ctx.Clock.Now <= 0 {
+		t.Error("no virtual time elapsed")
+	}
+}
+
+func TestTupleHeapOrdering(t *testing.T) {
+	h := newTupleHeap([]int{0}, 4)
+	seq := []int64{5, 1, 9, 3, 7, 2}
+	var evicted []int64
+	for _, k := range seq {
+		if ev, ok := h.offer(types.Tuple{types.Int(k)}); ok {
+			evicted = append(evicted, ev[0].I)
+		}
+	}
+	var drained []int64
+	h.drain(func(t types.Tuple) { drained = append(drained, t[0].I) })
+	if !sort.SliceIsSorted(drained, func(i, j int) bool { return drained[i] < drained[j] }) {
+		t.Errorf("drain not sorted: %v", drained)
+	}
+	all := append(evicted, drained...)
+	if len(all) != len(seq) {
+		t.Errorf("lost tuples: %v", all)
+	}
+}

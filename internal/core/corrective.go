@@ -1,0 +1,657 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/tukwila/adp/internal/algebra"
+	"github.com/tukwila/adp/internal/exec"
+	"github.com/tukwila/adp/internal/opt"
+	"github.com/tukwila/adp/internal/source"
+	"github.com/tukwila/adp/internal/state"
+	"github.com/tukwila/adp/internal/stats"
+	"github.com/tukwila/adp/internal/types"
+)
+
+// Strategy selects the execution regime compared in Figure 2.
+type Strategy uint8
+
+// Execution strategies.
+const (
+	// Static optimizes once and runs the plan to completion.
+	Static Strategy = iota
+	// Corrective monitors execution, switches plans mid-stream, and
+	// stitches phases together (corrective query processing, §4).
+	Corrective
+	// PlanPartition materializes after a fixed number of joins and
+	// re-optimizes the remainder (Kabra/DeWitt-style, §4.4 baseline).
+	PlanPartition
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case Corrective:
+		return "corrective"
+	default:
+		return "plan-partitioning"
+	}
+}
+
+// Catalog maps relation names to their (one-pass, resumable) providers.
+type Catalog struct {
+	Providers map[string]*source.Provider
+}
+
+// NewCatalog builds a catalog over relations with the given delivery
+// schedule factory (nil = local/immediate).
+func NewCatalog(rels map[string]*source.Relation, sched func(rel *source.Relation) source.Schedule) *Catalog {
+	c := &Catalog{Providers: map[string]*source.Provider{}}
+	for name, r := range rels {
+		var s source.Schedule
+		if sched != nil {
+			s = sched(r)
+		}
+		c.Providers[name] = source.NewProvider(r, s)
+	}
+	return c
+}
+
+// Options configures a run.
+type Options struct {
+	Strategy Strategy
+	// Known supplies source cardinalities ("given cardinalities" mode);
+	// nil reproduces the no-statistics configuration.
+	Known map[string]float64
+	// PollEvery is the monitor polling interval in delivered tuples (the
+	// paper polls on a 1-second timer; we poll on delivered volume to
+	// stay deterministic). Default 2048.
+	PollEvery int
+	// SwitchFactor: switch plans when the best alternative is estimated
+	// cheaper than SwitchFactor × the current plan's remaining cost.
+	// Default 0.7 ("substantially better", §4.1).
+	SwitchFactor float64
+	// MaxPhases caps phase switching. Default 8.
+	MaxPhases int
+	// PreAgg selects pre-aggregation handling (Figure 6).
+	PreAgg opt.PreAggMode
+	// Instrument attaches histograms and order detectors to every leaf,
+	// charging their per-tuple overhead (§4.5).
+	Instrument bool
+	// DisableStitchReuse recomputes all stitch-up combinations from base
+	// partitions (ablation of §3.4.2 reuse).
+	DisableStitchReuse bool
+	// MaterializeAfterJoins is the plan-partitioning breakpoint
+	// (default 3, as in §4.4).
+	MaterializeAfterJoins int
+	// Cost overrides the cost model.
+	Cost *exec.CostModel
+	// OnPoll, when set, observes every monitor decision (diagnostics):
+	// the extrapolated remaining cost of the current plan, the candidate
+	// plan's estimated cost, the stitch-up penalty, and whether a switch
+	// was taken.
+	OnPoll func(curRemaining, candidate, penalty float64, switched bool)
+}
+
+func (o *Options) defaults() {
+	if o.PollEvery <= 0 {
+		o.PollEvery = 2048
+	}
+	if o.SwitchFactor <= 0 {
+		o.SwitchFactor = 0.7
+	}
+	if o.MaxPhases <= 0 {
+		o.MaxPhases = 8
+	}
+	if o.MaterializeAfterJoins <= 0 {
+		o.MaterializeAfterJoins = 3
+	}
+}
+
+// PhaseInfo summarizes one execution phase for reports (Table 1/2).
+type PhaseInfo struct {
+	Plan      string
+	Delivered int64
+	Seconds   float64 // virtual seconds spent in this phase
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	Query    string
+	Strategy Strategy
+	Rows     []types.Tuple
+	Schema   *types.Schema
+
+	Phases       []PhaseInfo
+	Switches     int
+	StitchTime   float64
+	StitchCombos int
+	Reused       int64
+	Discarded    int64
+
+	VirtualSeconds float64
+	CPUSeconds     float64
+	RealSeconds    float64
+
+	// Leaf instrumentation outcomes (when Options.Instrument).
+	Histograms map[string]*stats.Histogram
+	Orders     map[string]*stats.OrderDetector
+}
+
+// executor carries one run's state.
+type executor struct {
+	cat *Catalog
+	q   *algebra.Query
+	o   Options
+	ctx *exec.Context
+	reg *stats.Registry
+
+	fullSchema *types.Schema
+	agg        *exec.AggTable // shared group-by across phases (nil for SPJ)
+	spjRows    []types.Tuple
+	outSchema  *types.Schema
+
+	phases   []*PhaseRecord
+	consumed map[string]float64 // pre-filter reads per relation (completed phases)
+	passed   map[string]float64 // post-filter (completed phases)
+	live     map[string]float64 // pre-filter reads including the running phase
+
+	rep *Report
+}
+
+// Run executes query q over the catalog with the selected strategy.
+func Run(cat *Catalog, q *algebra.Query, o Options) (*Report, error) {
+	o.defaults()
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	for _, r := range q.Relations {
+		if _, ok := cat.Providers[r.Name]; !ok {
+			return nil, fmt.Errorf("core: catalog has no source %q", r.Name)
+		}
+	}
+	start := time.Now()
+	ex := &executor{
+		cat:      cat,
+		q:        q,
+		o:        o,
+		ctx:      exec.NewContext(),
+		reg:      stats.NewRegistry(),
+		consumed: map[string]float64{},
+		passed:   map[string]float64{},
+		live:     map[string]float64{},
+		rep:      &Report{Query: q.Name, Strategy: o.Strategy},
+	}
+	if o.Cost != nil {
+		ex.ctx.Cost = o.Cost
+	}
+	if o.Instrument {
+		ex.rep.Histograms = map[string]*stats.Histogram{}
+		ex.rep.Orders = map[string]*stats.OrderDetector{}
+	}
+	ex.fullSchema = q.Relations[0].Schema
+	for _, r := range q.Relations[1:] {
+		ex.fullSchema = ex.fullSchema.Concat(r.Schema)
+	}
+	if len(q.Aggs) > 0 || len(q.GroupBy) > 0 {
+		agg, err := exec.NewAggTable(ex.ctx, ex.fullSchema, q.GroupBy, q.Aggs)
+		if err != nil {
+			return nil, err
+		}
+		ex.agg = agg
+		ex.outSchema = agg.Schema()
+	} else if len(q.Project) > 0 {
+		s, err := ex.fullSchema.Project(q.Project)
+		if err != nil {
+			return nil, err
+		}
+		ex.outSchema = s
+	} else {
+		ex.outSchema = ex.fullSchema
+	}
+
+	var err error
+	if o.Strategy == PlanPartition {
+		err = ex.runPlanPartition()
+	} else {
+		err = ex.runPhased()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if ex.agg != nil {
+		ex.rep.Rows = ex.agg.EmitFinal()
+	} else {
+		ex.rep.Rows = ex.spjRows
+	}
+	ex.rep.Schema = ex.outSchema
+	ex.rep.VirtualSeconds = ex.ctx.Clock.Now
+	ex.rep.CPUSeconds = ex.ctx.Clock.CPU
+	ex.rep.RealSeconds = time.Since(start).Seconds()
+	return ex.rep, nil
+}
+
+// optInputs assembles the optimizer inputs from current observations.
+func (ex *executor) optInputs() opt.Inputs {
+	consumed := ex.live
+	if len(consumed) == 0 {
+		consumed = ex.consumed
+	}
+	return opt.Inputs{
+		Query:    ex.q,
+		Known:    ex.o.Known,
+		Obs:      ex.reg,
+		Consumed: consumed,
+		Cost:     ex.ctx.Cost,
+		PreAgg:   ex.o.PreAgg,
+	}
+}
+
+// estTotalCard resolves a source's total cardinality for the monitor:
+// known value, else exact for exhausted sources, else the 2x foresight
+// heuristic the optimizer uses.
+func (ex *executor) estTotalCard(rel string) float64 {
+	sc, observed := ex.reg.Source(rel)
+	if observed && sc.Complete {
+		return sc.Read // exact beats stale advertised cardinalities
+	}
+	if c, ok := ex.o.Known[rel]; ok && c > 0 && (!observed || sc.Read <= c) {
+		return c
+	}
+	if observed {
+		return math.Max(2*sc.Read, opt.DefaultCard)
+	}
+	return opt.DefaultCard
+}
+
+// treeCollisionFactor measures how much the running plan's fixed-bucket
+// hash tables are suffering: the worst join table's expected probe-chain
+// length, converted to a cost multiplier ((1+chain)/2, since probes are
+// roughly half of join work). Healthy tables yield 1.
+func treeCollisionFactor(tree *Tree) float64 {
+	worst := 1.0
+	for _, j := range tree.Joins {
+		l, r := j.Node.Tables()
+		for _, t := range []state.Keyed{l, r} {
+			ht, ok := t.(*state.HashTable)
+			if !ok || ht == nil || ht.Buckets() == 0 {
+				continue
+			}
+			chain := float64(ht.Len()) / float64(ht.Buckets())
+			if chain < 1 {
+				chain = 1
+			}
+			if f := (1 + chain) / 2; f > worst {
+				worst = f
+			}
+		}
+	}
+	return worst
+}
+
+// stitchPenalty estimates the stitch-up work a plan switch would add:
+// every tuple already routed to earlier phases must be re-hashed and
+// cross-probed against the new phase's partitions, and the combination
+// count grows with the phase count (§3.4). This is what keeps the monitor
+// from switching gratuitously near the end of a query.
+func (ex *executor) stitchPenalty() float64 {
+	cm := ex.ctx.Cost
+	perTuple := cm.HashInsert + cm.HashProbe + cm.Move
+	// Mixed combinations pair consumed partitions with remaining data;
+	// with scan/probe side selection the work per combination is bounded
+	// by the smaller side, so the penalty tracks min(consumed, remaining)
+	// per relation and grows with the phase count.
+	var work float64
+	for _, rel := range ex.q.Relations {
+		consumed := ex.live[rel.Name]
+		remaining := math.Max(ex.estTotalCard(rel.Name)-consumed, 0)
+		work += math.Min(consumed, remaining)
+	}
+	phases := math.Max(1, float64(len(ex.phases)))
+	return work * perTuple * phases
+}
+
+// runPhased executes the Static and Corrective strategies.
+func (ex *executor) runPhased() error {
+	initial, err := opt.Optimize(opt.Inputs{
+		Query: ex.q, Known: ex.o.Known, Cost: ex.ctx.Cost, PreAgg: ex.o.PreAgg,
+	})
+	if err != nil {
+		return err
+	}
+	current := initial.Root
+	for {
+		exhausted, next, err := ex.runPhase(current)
+		if err != nil {
+			return err
+		}
+		if exhausted {
+			break
+		}
+		ex.rep.Switches++
+		current = next
+	}
+	return ex.stitchUp()
+}
+
+// runPhase lowers and executes one phase of plan root; it returns whether
+// the sources are exhausted and, if not, the next phase's plan.
+func (ex *executor) runPhase(root algebra.Plan) (exhausted bool, next algebra.Plan, err error) {
+	phaseID := len(ex.phases)
+	rec := &PhaseRecord{
+		ID:        phaseID,
+		Plan:      root,
+		BaseParts: map[string]*state.List{},
+		Interm:    map[string]*state.List{},
+	}
+	sink, err := ex.outputSink(root)
+	if err != nil {
+		return false, nil, err
+	}
+	tree, err := Lower(ex.ctx, root, sink)
+	if err != nil {
+		return false, nil, err
+	}
+
+	// Wire leaves: filter pushdown, base-partition capture, counters.
+	phasePassed := map[string]float64{}
+	var leaves []*exec.Leaf
+	for _, rel := range ex.q.Relations {
+		rel := rel
+		entry, ok := tree.Entry[rel.Name]
+		if !ok {
+			return false, nil, fmt.Errorf("core: plan is missing relation %q", rel.Name)
+		}
+		part := state.NewList(rel.Schema)
+		rec.BaseParts[rel.Name] = part
+		var pred func(types.Tuple) bool
+		if p, ok := ex.q.Filters[rel.Name]; ok && p != nil {
+			bound, err := p.BindPred(rel.Schema)
+			if err != nil {
+				return false, nil, err
+			}
+			pred = bound
+		}
+		leaf := &exec.Leaf{
+			Provider: ex.cat.Providers[rel.Name],
+			Pred:     pred,
+			Push: func(t types.Tuple) {
+				part.Insert(t)
+				phasePassed[rel.Name]++
+				entry(t)
+			},
+		}
+		if ex.o.Instrument {
+			leaf.OnTuple = ex.instrumentFor(rel)
+		}
+		leaves = append(leaves, leaf)
+	}
+	driver := exec.NewDriver(ex.ctx, leaves...)
+	t0 := ex.ctx.Clock.Now
+
+	var switchTo algebra.Plan
+	poll := func() bool {
+		ex.recordObservations(tree, leaves, phasePassed)
+		if ex.o.Strategy != Corrective || len(ex.phases)+1 >= ex.o.MaxPhases {
+			return false
+		}
+		// Cooldown: let the phase reach steady state before judging it —
+		// the monitor needs stable observed rates (§4.1's "stable,
+		// consistent" behaviour under a 1-second interval).
+		if driver.Delivered < int64(3*ex.o.PollEvery) {
+			return false
+		}
+		// Only switch while enough data remains for a new plan to matter.
+		var remaining, total float64
+		for _, rel := range ex.q.Relations {
+			tot := ex.estTotalCard(rel.Name)
+			total += tot
+			if c := ex.live[rel.Name]; c < tot {
+				remaining += tot - c
+			}
+		}
+		if total <= 0 || remaining/total < 0.2 {
+			return false
+		}
+		// Price the current plan's remaining work in the optimizer's cost
+		// units, inflated by the plan's observed bucket-collision factor:
+		// hash tables sized from wrong estimates cannot be re-bucketed
+		// (§4.4), and relieving that pain is what a plan switch buys.
+		in := ex.optInputs()
+		curModel, _ := opt.CostPlan(in, root)
+		curRemaining := curModel * treeCollisionFactor(tree)
+		best, err := opt.Optimize(in)
+		if err != nil {
+			return false
+		}
+		if samePlanShape(best.Root, root) {
+			return false
+		}
+		// A switch is only worthwhile if the candidate (priced over the
+		// remaining data) plus the stitch-up work it induces beats the
+		// current plan substantially (§4.1).
+		penalty := ex.stitchPenalty()
+		switched := best.Cost+penalty < ex.o.SwitchFactor*curRemaining
+		if ex.o.OnPoll != nil {
+			ex.o.OnPoll(curRemaining, best.Cost, penalty, switched)
+		}
+		if switched {
+			switchTo = best.Root
+			return true
+		}
+		return false
+	}
+
+	exhausted = driver.Run(ex.o.PollEvery, poll)
+	tree.Finish()
+	ex.recordObservations(tree, leaves, phasePassed)
+	// Fold this phase's reads into the completed-phase totals.
+	for _, l := range leaves {
+		ex.consumed[l.Provider.Name()] += float64(l.Read)
+		ex.passed[l.Provider.Name()] += float64(l.Passed)
+	}
+
+	// Register materialized intermediates for stitch-up reuse.
+	for _, j := range tree.Joins {
+		rec.Interm[j.Key] = j.ResultBuf
+	}
+	ex.phases = append(ex.phases, rec)
+	ex.rep.Phases = append(ex.rep.Phases, PhaseInfo{
+		Plan:      root.String(),
+		Delivered: driver.Delivered,
+		Seconds:   ex.ctx.Clock.Now - t0,
+	})
+	return exhausted, switchTo, nil
+}
+
+// outputSink adapts a phase tree's root layout into the shared group-by
+// operator (raw or partial form) or the SPJ result collector.
+func (ex *executor) outputSink(root algebra.Plan) (exec.Sink, error) {
+	rootSchema := root.Schema()
+	if ex.agg != nil {
+		if planHasPreAgg(root) {
+			ad, err := types.NewAdapter(rootSchema, ex.agg.PartialSchema())
+			if err != nil {
+				return nil, err
+			}
+			return exec.SinkFunc(func(t types.Tuple) { ex.agg.AbsorbPartial(ad.Adapt(t)) }), nil
+		}
+		ad, err := types.NewAdapter(rootSchema, ex.fullSchema)
+		if err != nil {
+			return nil, err
+		}
+		if ad.IsIdentity() {
+			return ex.agg, nil
+		}
+		return exec.SinkFunc(func(t types.Tuple) { ex.agg.AbsorbRaw(ad.Adapt(t)) }), nil
+	}
+	ad, err := types.NewAdapter(rootSchema, ex.outSchema)
+	if err != nil {
+		return nil, err
+	}
+	return exec.SinkFunc(func(t types.Tuple) {
+		ex.ctx.Clock.Charge(ex.ctx.Cost.Move)
+		ex.spjRows = append(ex.spjRows, ad.Adapt(t))
+	}), nil
+}
+
+func planHasPreAgg(p algebra.Plan) bool {
+	switch v := p.(type) {
+	case *algebra.JoinPlan:
+		return planHasPreAgg(v.Left) || planHasPreAgg(v.Right)
+	case *algebra.GroupPlan:
+		return v.Partial || planHasPreAgg(v.Input)
+	case *algebra.ProjectPlan:
+		return planHasPreAgg(v.Input)
+	default:
+		return false
+	}
+}
+
+// instrumentFor attaches a histogram (on the relation's first join column)
+// and an order detector to a leaf (§4.5).
+func (ex *executor) instrumentFor(rel algebra.RelRef) func(types.Tuple) {
+	col := -1
+	for _, j := range ex.q.Joins {
+		if j.LeftRel == rel.Name {
+			col = rel.Schema.IndexOf(j.LeftCol)
+			break
+		}
+		if j.RightRel == rel.Name {
+			col = rel.Schema.IndexOf(j.RightCol)
+			break
+		}
+	}
+	if col < 0 {
+		col = 0
+	}
+	h := stats.NewHistogram(stats.DefaultBuckets)
+	od := stats.NewOrderDetector()
+	ex.rep.Histograms[rel.Name] = h
+	ex.rep.Orders[rel.Name] = od
+	return func(t types.Tuple) {
+		h.Add(t[col])
+		od.Observe(t[col])
+	}
+}
+
+// recordObservations publishes runtime statistics into the shared registry
+// (§3.3): source cardinalities, local-filter selectivities, per-
+// subexpression join selectivities, and multiplicative-join flags.
+func (ex *executor) recordObservations(tree *Tree, leaves []*exec.Leaf, phasePassed map[string]float64) {
+	totRead := map[string]float64{}
+	totPassed := map[string]float64{}
+	for name, v := range ex.consumed {
+		totRead[name] = v
+	}
+	for name, v := range ex.passed {
+		totPassed[name] = v
+	}
+	for _, l := range leaves {
+		name := l.Provider.Name()
+		totRead[name] += float64(l.Read)
+		totPassed[name] += float64(l.Passed)
+		ex.live[name] = totRead[name]
+		ex.reg.ObserveSource(name, totRead[name], l.Provider.Exhausted())
+		if totRead[name] > 0 {
+			ex.reg.ObserveExpr(opt.FilterSelKey(name), totPassed[name], totRead[name], l.Provider.Exhausted())
+		}
+	}
+	for _, j := range tree.Joins {
+		out := float64(j.Node.Counters().Out)
+		prod := 1.0
+		ok := true
+		for _, r := range j.Rels {
+			p := phasePassed[r]
+			if p <= 0 {
+				ok = false
+				break
+			}
+			prod *= p
+		}
+		if !ok || prod <= 0 {
+			continue
+		}
+		ex.reg.ObserveExpr(j.Key, out, prod, false)
+		// Multiplicative flagging (§4.2): output exceeds both inputs.
+		c := j.Node.Counters()
+		maxIn := math.Max(float64(c.InLeft), float64(c.InRight))
+		if maxIn > 100 && out > 1.2*maxIn {
+			for _, p := range j.Preds {
+				ex.reg.FlagMultiplicative(p.String(), out/maxIn)
+			}
+		}
+	}
+}
+
+// samePlanShape compares join trees structurally (keys of every join node
+// plus pre-agg placement); two plans with identical shapes differ only in
+// physical detail, so switching would buy nothing.
+func samePlanShape(a, b algebra.Plan) bool {
+	return shapeKey(a) == shapeKey(b)
+}
+
+func shapeKey(p algebra.Plan) string {
+	switch v := p.(type) {
+	case *algebra.ScanPlan:
+		return v.Rel.Name
+	case *algebra.JoinPlan:
+		return "(" + shapeKey(v.Left) + "⋈" + shapeKey(v.Right) + ")"
+	case *algebra.GroupPlan:
+		return "γ(" + shapeKey(v.Input) + ")"
+	case *algebra.ProjectPlan:
+		return shapeKey(v.Input)
+	default:
+		return "?"
+	}
+}
+
+// stitchUp runs the stitch-up phase over recorded phases (§3.4),
+// routing its output into the shared aggregate / result set.
+func (ex *executor) stitchUp() error {
+	if len(ex.phases) < 2 || len(ex.q.Relations) < 2 {
+		return nil
+	}
+	t0 := ex.ctx.Clock.Now
+	var sink exec.Sink
+	var prep func(*StitchUp) error
+	if ex.agg != nil {
+		prep = func(s *StitchUp) error {
+			ad, err := types.NewAdapter(s.Schema, ex.fullSchema)
+			if err != nil {
+				return err
+			}
+			sink = exec.SinkFunc(func(t types.Tuple) { ex.agg.AbsorbRaw(ad.Adapt(t)) })
+			return nil
+		}
+	} else {
+		prep = func(s *StitchUp) error {
+			ad, err := types.NewAdapter(s.Schema, ex.outSchema)
+			if err != nil {
+				return err
+			}
+			sink = exec.SinkFunc(func(t types.Tuple) { ex.spjRows = append(ex.spjRows, ad.Adapt(t)) })
+			return nil
+		}
+	}
+	s, err := NewStitchUp(ex.ctx, ex.q, ex.phases, exec.SinkFunc(func(t types.Tuple) { sink.Push(t) }))
+	if err != nil {
+		return err
+	}
+	if err := prep(s); err != nil {
+		return err
+	}
+	s.DisableReuse = ex.o.DisableStitchReuse
+	if err := s.Run(); err != nil {
+		return err
+	}
+	ex.rep.StitchTime = ex.ctx.Clock.Now - t0
+	ex.rep.StitchCombos = s.Combos
+	ex.rep.Reused = s.Reused
+	ex.rep.Discarded = s.Discarded
+	return nil
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tukwila/adp/internal/algebra"
+	"github.com/tukwila/adp/internal/exec"
+	"github.com/tukwila/adp/internal/opt"
+	"github.com/tukwila/adp/internal/source"
+	"github.com/tukwila/adp/internal/stats"
+	"github.com/tukwila/adp/internal/types"
+)
+
+func monitorFixture() *executor {
+	q := flightsQuery()
+	return &executor{
+		q:    q,
+		o:    Options{Known: map[string]float64{}},
+		ctx:  exec.NewContext(),
+		reg:  stats.NewRegistry(),
+		live: map[string]float64{},
+	}
+}
+
+func TestEstTotalCardPriorities(t *testing.T) {
+	ex := monitorFixture()
+	// Nothing known: default.
+	if got := ex.estTotalCard("F"); got != opt.DefaultCard {
+		t.Errorf("default = %g", got)
+	}
+	// Advertised value wins over nothing.
+	ex.o.Known["F"] = 5000
+	if got := ex.estTotalCard("F"); got != 5000 {
+		t.Errorf("advertised = %g", got)
+	}
+	// Incomplete observation below the advertisement: advertisement holds.
+	ex.reg.ObserveSource("F", 3000, false)
+	if got := ex.estTotalCard("F"); got != 5000 {
+		t.Errorf("advertised should hold: %g", got)
+	}
+	// Observation falsifies the advertisement: foresight takes over.
+	ex.reg.ObserveSource("F", 30000, false)
+	if got := ex.estTotalCard("F"); got != 60000 {
+		t.Errorf("foresight = %g, want 60000", got)
+	}
+	// Exhausted source: exact, beats everything.
+	ex.reg.ObserveSource("F", 31234, true)
+	if got := ex.estTotalCard("F"); got != 31234 {
+		t.Errorf("exact = %g", got)
+	}
+}
+
+func TestStitchPenaltyGrowsWithBufferedDataAndPhases(t *testing.T) {
+	ex := monitorFixture()
+	ex.o.Known = nil
+	if p := ex.stitchPenalty(); p != 0 {
+		t.Errorf("empty penalty = %g", p)
+	}
+	// Mid-stream: consumed 10k of an estimated 40k (foresight 2x20k).
+	ex.reg.ObserveSource("F", 10000, false)
+	ex.live["F"] = 10000
+	p1 := ex.stitchPenalty()
+	if p1 <= 0 {
+		t.Fatal("penalty should be positive mid-stream")
+	}
+	// More phases -> larger penalty (combination growth).
+	ex.phases = []*PhaseRecord{{}, {}}
+	p2 := ex.stitchPenalty()
+	if p2 <= p1 {
+		t.Errorf("penalty should grow with phases: %g vs %g", p2, p1)
+	}
+	// Nearly exhausted source -> min(consumed, remaining) shrinks.
+	ex.phases = nil
+	ex.reg.ObserveSource("F", 10000, true) // total exactly 10000
+	if p3 := ex.stitchPenalty(); p3 >= p1 {
+		t.Errorf("penalty near completion should shrink: %g vs %g", p3, p1)
+	}
+}
+
+func TestOnPollCallbackObservesDecisions(t *testing.T) {
+	// End-to-end: the OnPoll hook fires during a corrective run with the
+	// switch decision visible.
+	f, tr, c := flightsData(200, 600, 400, 31)
+	var polls, switches int
+	rep, err := Run(catalogOf(f, tr, c), flightsQuery(), Options{
+		Strategy:     Corrective,
+		PollEvery:    50,
+		SwitchFactor: 0.99,
+		MaxPhases:    4,
+		OnPoll: func(cur, cand, pen float64, switched bool) {
+			polls++
+			if switched {
+				switches++
+			}
+			if cur < 0 || cand < 0 || pen < 0 {
+				t.Errorf("negative monitor quantities: %g %g %g", cur, cand, pen)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polls == 0 {
+		t.Error("OnPoll never fired")
+	}
+	if switches != rep.Switches {
+		t.Errorf("OnPoll saw %d switches, report says %d", switches, rep.Switches)
+	}
+}
+
+func TestRecordObservationsPublishesSelectivities(t *testing.T) {
+	// After a static run over the flights data, the registry must hold
+	// source cardinalities, filter selectivities and join selectivities.
+	f, tr, c := flightsData(100, 300, 200, 37)
+	q := flightsQuery()
+	cat := catalogOf(f, tr, c)
+	ex := &executor{
+		cat:      cat,
+		q:        q,
+		o:        Options{Strategy: Static},
+		ctx:      exec.NewContext(),
+		reg:      stats.NewRegistry(),
+		consumed: map[string]float64{},
+		passed:   map[string]float64{},
+		live:     map[string]float64{},
+		rep:      &Report{},
+	}
+	ex.fullSchema = q.Relations[0].Schema
+	for _, r := range q.Relations[1:] {
+		ex.fullSchema = ex.fullSchema.Concat(r.Schema)
+	}
+	agg, err := exec.NewAggTable(ex.ctx, ex.fullSchema, q.GroupBy, q.Aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.agg = agg
+	if _, _, err := ex.runPhase(mustPlan(t, q)); err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range []string{"F", "T", "C"} {
+		sc, ok := ex.reg.Source(rel)
+		if !ok || !sc.Complete {
+			t.Errorf("source %s not observed complete", rel)
+		}
+	}
+	if _, ok := ex.reg.Expr(algebra.CanonKey([]string{"F", "T"})); !ok {
+		// Depending on the chosen tree the first join may be T⋈C instead.
+		if _, ok2 := ex.reg.Expr(algebra.CanonKey([]string{"C", "T"})); !ok2 {
+			t.Error("no join selectivity observed")
+		}
+	}
+	if _, ok := ex.reg.Expr(algebra.CanonKey([]string{"C", "F", "T"})); !ok {
+		t.Error("full-expression selectivity not observed")
+	}
+}
+
+func mustPlan(t *testing.T, q *algebra.Query) algebra.Plan {
+	t.Helper()
+	res, err := opt.Optimize(opt.Inputs{Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Root
+}
+
+func TestCatalogConstruction(t *testing.T) {
+	rels := map[string]*source.Relation{
+		"r": source.NewRelation("r",
+			types.NewSchema(types.Column{Name: "r.k", Kind: types.KindInt}),
+			[]types.Tuple{{types.Int(1)}}),
+	}
+	cat := NewCatalog(rels, nil)
+	if cat.Providers["r"].Total() != 1 {
+		t.Error("catalog provider wrong")
+	}
+	cat2 := NewCatalog(rels, func(rel *source.Relation) source.Schedule {
+		return source.Bandwidth{TuplesPerSec: 10}
+	})
+	if at, ok := cat2.Providers["r"].PeekArrival(); !ok || at <= 0 {
+		t.Error("scheduled provider should delay arrivals")
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tukwila/adp/internal/algebra"
+	"github.com/tukwila/adp/internal/expr"
+	"github.com/tukwila/adp/internal/types"
+)
+
+func TestRenamedSchema(t *testing.T) {
+	s := types.NewSchema(
+		types.Column{Name: "orders.o_orderkey", Kind: types.KindInt},
+		types.Column{Name: "customer.c_name", Kind: types.KindString},
+	)
+	renamed, rename, err := renamedSchema(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renamed.Cols[0].Name != "stage1.o_orderkey" || renamed.Cols[1].Name != "stage1.c_name" {
+		t.Errorf("renamed = %v", renamed.Names())
+	}
+	if rename["orders.o_orderkey"] != "stage1.o_orderkey" {
+		t.Errorf("rename map = %v", rename)
+	}
+}
+
+func TestRenamedSchemaCollision(t *testing.T) {
+	s := types.NewSchema(
+		types.Column{Name: "a.k", Kind: types.KindInt},
+		types.Column{Name: "b.k", Kind: types.KindInt},
+	)
+	renamed, rename, err := renamedSchema(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renamed.Cols[0].Name == renamed.Cols[1].Name {
+		t.Fatalf("collision not resolved: %v", renamed.Names())
+	}
+	if rename["b.k"] != "stage1.b_k" {
+		t.Errorf("collision fallback = %q", rename["b.k"])
+	}
+}
+
+func TestRewriteQuery(t *testing.T) {
+	aS := types.NewSchema(types.Column{Name: "a.k", Kind: types.KindInt}, types.Column{Name: "a.v", Kind: types.KindInt})
+	bS := types.NewSchema(types.Column{Name: "b.k", Kind: types.KindInt}, types.Column{Name: "b.ck", Kind: types.KindInt})
+	cS := types.NewSchema(types.Column{Name: "c.k", Kind: types.KindInt})
+	q := &algebra.Query{
+		Name:      "q",
+		Relations: []algebra.RelRef{{Name: "a", Schema: aS}, {Name: "b", Schema: bS}, {Name: "c", Schema: cS}},
+		Filters: map[string]expr.Predicate{
+			"a": expr.Gt(expr.Column("a.v"), expr.IntLit(0)),
+			"c": expr.Gt(expr.Column("c.k"), expr.IntLit(0)),
+		},
+		Joins: []algebra.JoinPred{
+			{LeftRel: "a", LeftCol: "k", RightRel: "b", RightCol: "k"},
+			{LeftRel: "b", LeftCol: "ck", RightRel: "c", RightCol: "k"},
+		},
+		GroupBy: []string{"a.v"},
+		Aggs:    []algebra.AggSpec{{Kind: algebra.AggSum, Arg: expr.Mul(expr.Column("a.v"), expr.IntLit(2)), As: "s"}},
+	}
+	// Stage 1 covered {a, b}; materialized schema renames both.
+	mat := aS.Concat(bS)
+	matSchema, rename, err := renamedSchema(mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := rewriteQuery(q, map[string]bool{"a": true, "b": true}, matSchema, rename)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q2.Validate(); err != nil {
+		t.Fatalf("rewritten query invalid: %v", err)
+	}
+	if len(q2.Relations) != 2 || q2.Relations[0].Name != matRelName {
+		t.Errorf("relations = %v", q2.RelationNames())
+	}
+	// The internal a⋈b join is gone; b⋈c is rewritten to stage1⋈c.
+	if len(q2.Joins) != 1 || q2.Joins[0].RightRel != "c" || q2.Joins[0].LeftRel != matRelName {
+		t.Errorf("joins = %v", q2.Joins)
+	}
+	if q2.Joins[0].LeftCol != "ck" {
+		t.Errorf("join col = %q", q2.Joins[0].LeftCol)
+	}
+	// Covered filter dropped, uncovered kept.
+	if _, ok := q2.Filters["a"]; ok {
+		t.Error("covered filter should be dropped")
+	}
+	if _, ok := q2.Filters["c"]; !ok {
+		t.Error("uncovered filter lost")
+	}
+	// Group-by and agg args rewritten.
+	if q2.GroupBy[0] != "stage1.v" {
+		t.Errorf("group-by = %v", q2.GroupBy)
+	}
+	cols := q2.Aggs[0].Arg.Columns(nil)
+	if len(cols) != 1 || cols[0] != "stage1.v" {
+		t.Errorf("agg arg columns = %v", cols)
+	}
+}
+
+func TestRewriteQueryMissingRename(t *testing.T) {
+	aS := types.NewSchema(types.Column{Name: "a.k", Kind: types.KindInt})
+	bS := types.NewSchema(types.Column{Name: "b.k", Kind: types.KindInt})
+	q := &algebra.Query{
+		Name:      "q",
+		Relations: []algebra.RelRef{{Name: "a", Schema: aS}, {Name: "b", Schema: bS}},
+		Joins:     []algebra.JoinPred{{LeftRel: "a", LeftCol: "k", RightRel: "b", RightCol: "k"}},
+	}
+	// Empty rename map: the join rewrite must fail loudly.
+	if _, err := rewriteQuery(q, map[string]bool{"a": true}, types.NewSchema(), map[string]string{}); err == nil {
+		t.Error("missing rename should error")
+	}
+	// Right-side coverage error path.
+	if _, err := rewriteQuery(q, map[string]bool{"b": true}, types.NewSchema(), map[string]string{}); err == nil {
+		t.Error("missing right rename should error")
+	}
+}
+
+func TestRenameExprForms(t *testing.T) {
+	rename := map[string]string{"a.v": "stage1.v"}
+	e := expr.Add(expr.Column("a.v"), expr.Div(expr.IntLit(4), expr.Column("other.x")))
+	out := renameExpr(e, rename)
+	cols := out.Columns(nil)
+	found := map[string]bool{}
+	for _, c := range cols {
+		found[c] = true
+	}
+	if !found["stage1.v"] || found["a.v"] || !found["other.x"] {
+		t.Errorf("renameExpr columns = %v", cols)
+	}
+	if renameCol("a.v", rename) != "stage1.v" || renameCol("z", rename) != "z" {
+		t.Error("renameCol wrong")
+	}
+}

@@ -1,0 +1,191 @@
+// Package core implements the paper's contribution: adaptive data
+// partitioning (ADP). It lowers optimizer plans onto pipelined push trees
+// whose intermediate results live in shareable state structures, runs
+// corrective query processing (phased plan switching with a stitch-up
+// phase, §4), evaluates stitch-up expressions with exclusion lists and
+// subexpression reuse (§3.4), provides the complementary merge/hash join
+// pair for exploiting (partial) order (§5), and the adaptive
+// pre-aggregation integration (§6).
+package core
+
+import (
+	"fmt"
+
+	"github.com/tukwila/adp/internal/algebra"
+	"github.com/tukwila/adp/internal/exec"
+	"github.com/tukwila/adp/internal/state"
+	"github.com/tukwila/adp/internal/types"
+)
+
+// TreeJoin records one join node of a lowered plan together with its
+// logical identity, for monitoring and stitch-up registration.
+type TreeJoin struct {
+	Key   string // canonical subexpression key
+	Rels  []string
+	Preds []algebra.JoinPred
+	Node  *exec.HashJoin
+	// ResultBuf captures the join node's output (the materialized
+	// intermediate result registered for stitch-up reuse, §3.4.2).
+	ResultBuf *state.List
+}
+
+// Tree is a lowered, executable pipeline for one phase's plan.
+type Tree struct {
+	ctx *exec.Context
+	// Entry maps base relation name -> push function accepting post-
+	// filter source tuples.
+	Entry map[string]func(types.Tuple)
+	// Joins lists join nodes bottom-up.
+	Joins []*TreeJoin
+	// PreAggWindow is the adjustable-window pre-aggregation operator if
+	// the plan contains one.
+	PreAggWindow *exec.WindowPreAgg
+	// preAggBlocking is a traditional pre-agg awaiting flush at finish.
+	preAggBlocking *blockingPreAgg
+	// RootSchema is the layout of tuples delivered to the output sink.
+	RootSchema *types.Schema
+	// HasPreAgg reports that output tuples are in partial layout.
+	HasPreAgg bool
+	finishers []func()
+}
+
+// blockingPreAgg adapts an AggTable into a traditional (blocking)
+// pre-aggregation operator feeding a parent sink at finish time.
+type blockingPreAgg struct {
+	table *exec.AggTable
+	out   exec.Sink
+}
+
+func (b *blockingPreAgg) flush() {
+	for _, t := range b.table.EmitPartial() {
+		b.out.Push(t)
+	}
+}
+
+// Lower compiles an optimizer plan tree into an executable push pipeline
+// delivering root tuples to out. Join nodes default to the pipelined
+// (data-availability-driven) style, the configuration all experiments use
+// ("most data integration systems almost exclusively rely on pipelined
+// hash joins", §3.4).
+func Lower(ctx *exec.Context, plan algebra.Plan, out exec.Sink) (*Tree, error) {
+	t := &Tree{ctx: ctx, Entry: map[string]func(types.Tuple){}, RootSchema: plan.Schema()}
+	if err := t.build(plan, out); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Tree) build(p algebra.Plan, out exec.Sink) error {
+	switch v := p.(type) {
+	case *algebra.ScanPlan:
+		name := v.Rel.Name
+		if _, dup := t.Entry[name]; dup {
+			return fmt.Errorf("core: relation %q appears twice in plan", name)
+		}
+		t.Entry[name] = out.Push
+		return nil
+
+	case *algebra.JoinPlan:
+		lk, rk, err := v.JoinKeyCols()
+		if err != nil {
+			return err
+		}
+		style := exec.Pipelined
+		switch v.Algorithm {
+		case algebra.JoinHybridHash:
+			style = exec.BuildThenProbe
+		case algebra.JoinNestedLoops:
+			style = exec.NestedLoops
+		}
+		buf := state.NewList(v.Schema())
+		tee := exec.SinkFunc(func(tp types.Tuple) {
+			buf.Insert(tp)
+			out.Push(tp)
+		})
+		node := exec.NewHashJoin(t.ctx, style, v.Left.Schema(), v.Right.Schema(), lk, rk, tee)
+		if v.EstLeftCard > 0 || v.EstRightCard > 0 {
+			// Size fixed-bucket tables from the optimizer's estimates
+			// (wrong estimates surface as bucket collisions, §4.4).
+			node.SizeTables(v.EstLeftCard, v.EstRightCard)
+		}
+		if err := t.build(v.Left, exec.SinkFunc(node.PushLeft)); err != nil {
+			return err
+		}
+		if err := t.build(v.Right, exec.SinkFunc(node.PushRight)); err != nil {
+			return err
+		}
+		t.Joins = append(t.Joins, &TreeJoin{
+			Key:       v.Key(),
+			Rels:      v.Rels(),
+			Preds:     v.Preds,
+			Node:      node,
+			ResultBuf: buf,
+		})
+		t.finishers = append(t.finishers, func() {
+			node.FinishLeft()
+			node.FinishRight()
+		})
+		return nil
+
+	case *algebra.GroupPlan:
+		if !v.Partial {
+			return fmt.Errorf("core: final aggregation must not appear inside a phase tree (it is shared across phases)")
+		}
+		t.HasPreAgg = true
+		if v.Windowed {
+			pre, err := exec.NewWindowPreAgg(t.ctx, v.Input.Schema(), v.GroupBy, v.Aggs, out)
+			if err != nil {
+				return err
+			}
+			t.PreAggWindow = pre
+			if err := t.build(v.Input, pre); err != nil {
+				return err
+			}
+			// Child-before-parent order: the pre-agg's flush must run
+			// before any ancestor join's finish, which holds because a
+			// parent join appends its finisher only after its whole
+			// subtree (including this node) has been built.
+			t.finishers = append(t.finishers, pre.Finish)
+			return nil
+		}
+		table, err := exec.NewAggTable(t.ctx, v.Input.Schema(), v.GroupBy, v.Aggs)
+		if err != nil {
+			return err
+		}
+		b := &blockingPreAgg{table: table, out: out}
+		t.preAggBlocking = b
+		if err := t.build(v.Input, table); err != nil {
+			return err
+		}
+		t.finishers = append(t.finishers, b.flush)
+		return nil
+
+	case *algebra.ProjectPlan:
+		ad, err := types.NewAdapter(v.Input.Schema(), v.Schema())
+		if err != nil {
+			return err
+		}
+		return t.build(v.Input, exec.NewProject(t.ctx, ad, out))
+
+	default:
+		return fmt.Errorf("core: cannot lower plan node %T", p)
+	}
+}
+
+// Finish propagates end-of-stream through the tree: pre-aggregates flush
+// first, then joins bottom-up (so drained probes cascade upward).
+func (t *Tree) Finish() {
+	for _, f := range t.finishers {
+		f()
+	}
+}
+
+// JoinFor returns the tree's join node materializing exprKey, if any.
+func (t *Tree) JoinFor(exprKey string) (*TreeJoin, bool) {
+	for _, j := range t.Joins {
+		if j.Key == exprKey {
+			return j, true
+		}
+	}
+	return nil, false
+}

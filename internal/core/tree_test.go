@@ -1,0 +1,208 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tukwila/adp/internal/algebra"
+	"github.com/tukwila/adp/internal/exec"
+	"github.com/tukwila/adp/internal/expr"
+	"github.com/tukwila/adp/internal/opt"
+	"github.com/tukwila/adp/internal/types"
+)
+
+func treeFixtureQuery() *algebra.Query {
+	return &algebra.Query{
+		Name: "t",
+		Relations: []algebra.RelRef{
+			{Name: "A", Schema: types.NewSchema(
+				types.Column{Name: "A.k", Kind: types.KindInt},
+				types.Column{Name: "A.v", Kind: types.KindInt})},
+			{Name: "B", Schema: types.NewSchema(
+				types.Column{Name: "B.k", Kind: types.KindInt})},
+		},
+		Joins: []algebra.JoinPred{
+			{LeftRel: "A", LeftCol: "k", RightRel: "B", RightCol: "k"},
+		},
+		GroupBy: []string{"B.k"},
+		Aggs:    []algebra.AggSpec{{Kind: algebra.AggSum, Arg: expr.Column("A.v"), As: "s"}},
+	}
+}
+
+func TestLowerSimpleJoin(t *testing.T) {
+	q := treeFixtureQuery()
+	res, err := opt.Optimize(opt.Inputs{Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := exec.NewContext()
+	var out []types.Tuple
+	tree, err := Lower(ctx, res.Root, exec.SinkFunc(func(tp types.Tuple) { out = append(out, tp) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Entry) != 2 || len(tree.Joins) != 1 {
+		t.Fatalf("tree shape wrong: %d entries %d joins", len(tree.Entry), len(tree.Joins))
+	}
+	tree.Entry["A"](types.Tuple{types.Int(1), types.Int(10)})
+	tree.Entry["B"](types.Tuple{types.Int(1)})
+	tree.Entry["A"](types.Tuple{types.Int(1), types.Int(20)})
+	tree.Entry["B"](types.Tuple{types.Int(2)})
+	tree.Finish()
+	if len(out) != 2 {
+		t.Fatalf("outputs = %d, want 2", len(out))
+	}
+	// Intermediate results captured for stitch-up reuse.
+	j := tree.Joins[0]
+	if j.ResultBuf.Len() != 2 {
+		t.Error("join result buffer not populated")
+	}
+	if j.Key != algebra.CanonKey([]string{"A", "B"}) {
+		t.Errorf("join key = %q", j.Key)
+	}
+	if _, ok := tree.JoinFor(j.Key); !ok {
+		t.Error("JoinFor lookup failed")
+	}
+	if _, ok := tree.JoinFor("nope"); ok {
+		t.Error("JoinFor should miss")
+	}
+}
+
+func TestLowerWindowedPreAgg(t *testing.T) {
+	q := treeFixtureQuery()
+	res, err := opt.Optimize(opt.Inputs{
+		Query:  q,
+		Known:  map[string]float64{"A": 10000, "B": 10},
+		PreAgg: opt.PreAggWindowed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PreAggLeaf != "A" {
+		t.Skipf("optimizer chose no pre-agg (leaf %q)", res.PreAggLeaf)
+	}
+	ctx := exec.NewContext()
+	tree, err := Lower(ctx, res.Root, exec.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.HasPreAgg || tree.PreAggWindow == nil {
+		t.Fatal("windowed pre-agg not lowered")
+	}
+	// Push repetitive A tuples; the window operator should coalesce.
+	for i := 0; i < 512; i++ {
+		tree.Entry["A"](types.Tuple{types.Int(int64(i % 4)), types.Int(1)})
+	}
+	tree.Entry["B"](types.Tuple{types.Int(1)})
+	tree.Finish()
+	if tree.PreAggWindow.Coalesced == 0 {
+		t.Error("window pre-agg did not coalesce repetitive input")
+	}
+}
+
+func TestLowerTraditionalPreAggBlocksUntilFinish(t *testing.T) {
+	q := treeFixtureQuery()
+	res, err := opt.Optimize(opt.Inputs{
+		Query:  q,
+		Known:  map[string]float64{"A": 10000, "B": 10},
+		PreAgg: opt.PreAggTraditional,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PreAggLeaf != "A" {
+		t.Skip("traditional pre-agg not inserted")
+	}
+	ctx := exec.NewContext()
+	var out []types.Tuple
+	tree, err := Lower(ctx, res.Root, exec.SinkFunc(func(tp types.Tuple) { out = append(out, tp) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.Entry["B"](types.Tuple{types.Int(0)})
+	for i := 0; i < 100; i++ {
+		tree.Entry["A"](types.Tuple{types.Int(0), types.Int(1)})
+	}
+	if len(out) != 0 {
+		t.Fatal("blocking pre-agg emitted before finish")
+	}
+	tree.Finish()
+	if len(out) != 1 {
+		t.Fatalf("outputs = %d, want 1 coalesced partial join result", len(out))
+	}
+}
+
+func TestLowerRejectsFinalGroupInsideTree(t *testing.T) {
+	q := treeFixtureQuery()
+	scan := algebra.NewScan(q.Relations[0])
+	final := algebra.NewGroup(scan, []string{"A.k"}, q.Aggs)
+	ctx := exec.NewContext()
+	if _, err := Lower(ctx, final, exec.Discard); err == nil {
+		t.Error("final aggregation inside a phase tree must be rejected")
+	}
+}
+
+func TestLowerProjectNode(t *testing.T) {
+	q := treeFixtureQuery()
+	scan := algebra.NewScan(q.Relations[0])
+	proj, err := algebra.NewProject(scan, []string{"A.v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := exec.NewContext()
+	var out []types.Tuple
+	tree, err := Lower(ctx, proj, exec.SinkFunc(func(tp types.Tuple) { out = append(out, tp) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.Entry["A"](types.Tuple{types.Int(1), types.Int(42)})
+	if len(out) != 1 || out[0][0].I != 42 || len(out[0]) != 1 {
+		t.Errorf("projection wrong: %v", out)
+	}
+}
+
+func TestLowerDuplicateRelationRejected(t *testing.T) {
+	q := treeFixtureQuery()
+	a := algebra.NewScan(q.Relations[0])
+	j := algebra.NewJoin(a, algebra.NewScan(q.Relations[0]), []algebra.JoinPred{q.Joins[0]})
+	ctx := exec.NewContext()
+	if _, err := Lower(ctx, j, exec.Discard); err == nil {
+		t.Error("duplicate relation in plan must be rejected")
+	}
+}
+
+func TestSamePlanShape(t *testing.T) {
+	q := treeFixtureQuery()
+	a := algebra.NewScan(q.Relations[0])
+	b := algebra.NewScan(q.Relations[1])
+	ab := algebra.NewJoin(a, b, q.Joins)
+	ba := algebra.NewJoin(b, a, q.Joins)
+	if samePlanShape(ab, ba) {
+		t.Error("mirrored joins are different physical shapes")
+	}
+	if !samePlanShape(ab, algebra.NewJoin(a, b, q.Joins)) {
+		t.Error("identical shapes should match")
+	}
+}
+
+func TestTreeCollisionFactor(t *testing.T) {
+	q := treeFixtureQuery()
+	res, err := opt.Optimize(opt.Inputs{Query: q, Known: map[string]float64{"A": 64, "B": 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := exec.NewContext()
+	tree, err := Lower(ctx, res.Root, exec.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := treeCollisionFactor(tree); f != 1 {
+		t.Errorf("empty tables should have factor 1, got %g", f)
+	}
+	// Overfill: estimates said 64, feed 10k distinct keys.
+	for i := 0; i < 10000; i++ {
+		tree.Entry["A"](types.Tuple{types.Int(int64(i)), types.Int(1)})
+	}
+	if f := treeCollisionFactor(tree); f <= 2 {
+		t.Errorf("overfilled fixed table should raise factor, got %g", f)
+	}
+}

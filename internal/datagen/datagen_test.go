@@ -1,0 +1,196 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/tukwila/adp/internal/source"
+	"github.com/tukwila/adp/internal/types"
+)
+
+func TestZipfDistribution(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(1)), 1.0, 100)
+	if z.N() != 100 {
+		t.Fatalf("N = %d", z.N())
+	}
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 should be roughly 2x rank 1 at z=1.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.5 || ratio > 2.6 {
+		t.Errorf("rank0/rank1 = %g, want ~2", ratio)
+	}
+	// Monotone-ish decay: first decile outweighs last decile.
+	first, last := 0, 0
+	for i := 0; i < 10; i++ {
+		first += counts[i]
+		last += counts[90+i]
+	}
+	if first <= last {
+		t.Error("Zipf head should outweigh tail")
+	}
+}
+
+func TestZipfHalfExponent(t *testing.T) {
+	// z=0.5 (paper's skew) is shallower than z=1 but still skewed.
+	zHalf := NewZipf(rand.New(rand.NewSource(2)), 0.5, 1000)
+	counts := make([]int, 1000)
+	for i := 0; i < 200000; i++ {
+		counts[zHalf.Next()]++
+	}
+	if counts[0] <= counts[500] {
+		t.Error("z=0.5 should still favour low ranks")
+	}
+}
+
+func TestZipfDegenerateDomain(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(3)), 0.5, 0)
+	if z.N() != 1 || z.Next() != 0 {
+		t.Error("degenerate domain should clamp to 1")
+	}
+}
+
+func TestGenerateCardinalities(t *testing.T) {
+	d := Generate(Config{ScaleFactor: 0.01, Seed: 1})
+	nCust, nOrd, nSupp := Cardinalities(0.01)
+	if d.Customer.Len() != nCust || d.Orders.Len() != nOrd || d.Supplier.Len() != nSupp {
+		t.Errorf("cardinalities: cust=%d ord=%d supp=%d", d.Customer.Len(), d.Orders.Len(), d.Supplier.Len())
+	}
+	if d.Region.Len() != 5 || d.Nation.Len() != 25 {
+		t.Error("region/nation sizes wrong")
+	}
+	// LINEITEM ~4 lines/order.
+	avg := float64(d.Lineitem.Len()) / float64(d.Orders.Len())
+	if avg < 3 || avg > 5 {
+		t.Errorf("lineitem avg lines/order = %g", avg)
+	}
+	if len(d.Relations()) != 6 {
+		t.Error("Relations() incomplete")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{ScaleFactor: 0.002, Seed: 9})
+	b := Generate(Config{ScaleFactor: 0.002, Seed: 9})
+	for i := range a.Orders.Rows {
+		for j := range a.Orders.Rows[i] {
+			if types.Compare(a.Orders.Rows[i][j], b.Orders.Rows[i][j]) != 0 {
+				t.Fatal("generation not deterministic")
+			}
+		}
+	}
+}
+
+func TestReferentialIntegrity(t *testing.T) {
+	d := Generate(Config{ScaleFactor: 0.002, Seed: 5})
+	nCust := int64(d.Customer.Len())
+	nSupp := int64(d.Supplier.Len())
+	nOrd := int64(d.Orders.Len())
+	for _, r := range d.Orders.Rows {
+		if ck := r[1].I; ck < 0 || ck >= nCust {
+			t.Fatalf("o_custkey %d out of range", ck)
+		}
+		if dt := r[4].I; dt < dateLo || dt > dateHi {
+			t.Fatalf("o_orderdate %d out of range", dt)
+		}
+	}
+	for _, r := range d.Lineitem.Rows {
+		if ok := r[0].I; ok < 0 || ok >= nOrd {
+			t.Fatalf("l_orderkey %d out of range", ok)
+		}
+		if sk := r[2].I; sk < 0 || sk >= nSupp {
+			t.Fatalf("l_suppkey %d out of range", sk)
+		}
+		if disc := r[5].F; disc < 0 || disc > 0.10001 {
+			t.Fatalf("l_discount %g out of range", disc)
+		}
+	}
+	for _, r := range d.Nation.Rows {
+		if rk := r[2].I; rk < 0 || rk >= 5 {
+			t.Fatalf("n_regionkey %d out of range", rk)
+		}
+	}
+}
+
+func TestBaseTablesSortedByKey(t *testing.T) {
+	d := Generate(Config{ScaleFactor: 0.002, Seed: 5})
+	if source.SortednessAsc(d.Orders, "o_orderkey") != 1 {
+		t.Error("orders should be key-sorted")
+	}
+	if source.SortednessAsc(d.Lineitem, "l_orderkey") != 1 {
+		t.Error("lineitem should be orderkey-sorted")
+	}
+}
+
+func TestSkewedDatasetIsSkewed(t *testing.T) {
+	uni := Generate(Config{ScaleFactor: 0.01, Seed: 7})
+	skw := Generate(Config{ScaleFactor: 0.01, Seed: 7, Skewed: true, Z: DefaultZ})
+
+	fanout := func(d *Dataset) (maxN int, variance float64) {
+		counts := map[int64]int{}
+		for _, r := range d.Orders.Rows {
+			counts[r[1].I]++
+		}
+		var sum, sumsq float64
+		for _, c := range counts {
+			if c > maxN {
+				maxN = c
+			}
+			sum += float64(c)
+			sumsq += float64(c) * float64(c)
+		}
+		n := float64(len(counts))
+		mean := sum / n
+		return maxN, sumsq/n - mean*mean
+	}
+	uMax, uVar := fanout(uni)
+	sMax, sVar := fanout(skw)
+	if sMax <= uMax || sVar <= uVar {
+		t.Errorf("skewed dataset not skewed: uniform max=%d var=%.1f, skewed max=%d var=%.1f",
+			uMax, uVar, sMax, sVar)
+	}
+}
+
+func TestOrdersTotalPriceConsistent(t *testing.T) {
+	d := Generate(Config{ScaleFactor: 0.001, Seed: 11})
+	sums := map[int64]float64{}
+	for _, r := range d.Lineitem.Rows {
+		sums[r[0].I] += r[4].F
+	}
+	for _, r := range d.Orders.Rows {
+		if math.Abs(r[3].F-sums[r[0].I]) > 1e-6 {
+			t.Fatalf("o_totalprice mismatch for order %d", r[0].I)
+		}
+	}
+}
+
+func TestZipfTable(t *testing.T) {
+	rel := ZipfTable("z", 10000, 500, 0.5, 3)
+	if rel.Len() != 10000 {
+		t.Fatal("wrong size")
+	}
+	counts := map[int64]int{}
+	for _, r := range rel.Rows {
+		counts[r[1].I]++
+	}
+	if counts[0] <= 10000/500 {
+		t.Error("zipf attribute head not heavy")
+	}
+	if rel.Schema.IndexOf("z.zattr") != 1 {
+		t.Error("schema wrong")
+	}
+}
+
+func TestGenerateDefaultsClamped(t *testing.T) {
+	d := Generate(Config{})
+	if d.Customer.Len() < 25 || d.Orders.Len() < 100 {
+		t.Error("minimum cardinalities not enforced")
+	}
+	if d.Config.Z != DefaultZ {
+		t.Error("default Z not applied")
+	}
+}

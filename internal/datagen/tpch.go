@@ -1,0 +1,268 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/tukwila/adp/internal/source"
+	"github.com/tukwila/adp/internal/types"
+)
+
+// Config controls dataset generation.
+type Config struct {
+	// ScaleFactor scales cardinalities relative to TPC-H SF 1
+	// (CUSTOMER 150k, ORDERS 1.5M, LINEITEM ~6M). The paper runs SF 0.1;
+	// tests default to much smaller.
+	ScaleFactor float64
+	// Skewed applies Zipf(Z) to the major attributes, reproducing the
+	// skewed TPC-D dataset of §3.5.
+	Skewed bool
+	// Z is the Zipf exponent (paper: 0.5).
+	Z float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultZ matches the paper's skew factor.
+const DefaultZ = 0.5
+
+// Dataset is the generated database.
+type Dataset struct {
+	Region   *source.Relation
+	Nation   *source.Relation
+	Supplier *source.Relation
+	Customer *source.Relation
+	Orders   *source.Relation
+	Lineitem *source.Relation
+	Config   Config
+}
+
+// Relations returns all tables keyed by name.
+func (d *Dataset) Relations() map[string]*source.Relation {
+	return map[string]*source.Relation{
+		"region":   d.Region,
+		"nation":   d.Nation,
+		"supplier": d.Supplier,
+		"customer": d.Customer,
+		"orders":   d.Orders,
+		"lineitem": d.Lineitem,
+	}
+}
+
+var (
+	regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	segments    = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+	returnFlags = []string{"N", "R", "A"}
+	statuses    = []string{"O", "F", "P"}
+)
+
+// Date range: days since 1992-01-01 through ~1998-12-31, as in TPC-H.
+const (
+	dateLo = 0
+	dateHi = 2556
+)
+
+// col is shorthand for a column definition.
+func col(name string, k types.Kind) types.Column { return types.Column{Name: name, Kind: k} }
+
+// Schemas for the six generated tables. Dates are KindInt (days since
+// 1992-01-01).
+var (
+	RegionSchema = types.NewSchema(
+		col("region.r_regionkey", types.KindInt),
+		col("region.r_name", types.KindString),
+	)
+	NationSchema = types.NewSchema(
+		col("nation.n_nationkey", types.KindInt),
+		col("nation.n_name", types.KindString),
+		col("nation.n_regionkey", types.KindInt),
+	)
+	SupplierSchema = types.NewSchema(
+		col("supplier.s_suppkey", types.KindInt),
+		col("supplier.s_name", types.KindString),
+		col("supplier.s_nationkey", types.KindInt),
+		col("supplier.s_acctbal", types.KindFloat),
+	)
+	CustomerSchema = types.NewSchema(
+		col("customer.c_custkey", types.KindInt),
+		col("customer.c_name", types.KindString),
+		col("customer.c_nationkey", types.KindInt),
+		col("customer.c_mktsegment", types.KindString),
+		col("customer.c_acctbal", types.KindFloat),
+	)
+	OrdersSchema = types.NewSchema(
+		col("orders.o_orderkey", types.KindInt),
+		col("orders.o_custkey", types.KindInt),
+		col("orders.o_orderstatus", types.KindString),
+		col("orders.o_totalprice", types.KindFloat),
+		col("orders.o_orderdate", types.KindInt),
+		col("orders.o_shippriority", types.KindInt),
+	)
+	LineitemSchema = types.NewSchema(
+		col("lineitem.l_orderkey", types.KindInt),
+		col("lineitem.l_linenumber", types.KindInt),
+		col("lineitem.l_suppkey", types.KindInt),
+		col("lineitem.l_quantity", types.KindFloat),
+		col("lineitem.l_extendedprice", types.KindFloat),
+		col("lineitem.l_discount", types.KindFloat),
+		col("lineitem.l_returnflag", types.KindString),
+		col("lineitem.l_shipdate", types.KindInt),
+	)
+)
+
+// Cardinalities returns the table sizes for a scale factor.
+func Cardinalities(sf float64) (customers, orders, suppliers int) {
+	customers = max(25, int(150000*sf))
+	orders = max(100, int(1500000*sf))
+	suppliers = max(10, int(10000*sf))
+	return
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Generate builds a dataset. Base tables come out sorted by primary key
+// (the "bulk loaded" ordering §5 exploits); callers shuffle or reorder as
+// experiments require.
+func Generate(cfg Config) *Dataset {
+	if cfg.ScaleFactor <= 0 {
+		cfg.ScaleFactor = 0.001
+	}
+	if cfg.Z == 0 {
+		cfg.Z = DefaultZ
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nCust, nOrd, nSupp := Cardinalities(cfg.ScaleFactor)
+
+	d := &Dataset{Config: cfg}
+
+	// REGION.
+	regRows := make([]types.Tuple, len(regionNames))
+	for i, n := range regionNames {
+		regRows[i] = types.Tuple{types.Int(int64(i)), types.Str(n)}
+	}
+	d.Region = source.NewRelation("region", RegionSchema, regRows)
+
+	// NATION: 25 nations, 5 per region.
+	natRows := make([]types.Tuple, 25)
+	for i := 0; i < 25; i++ {
+		natRows[i] = types.Tuple{
+			types.Int(int64(i)),
+			types.Str(fmt.Sprintf("NATION_%02d", i)),
+			types.Int(int64(i % 5)),
+		}
+	}
+	d.Nation = source.NewRelation("nation", NationSchema, natRows)
+
+	// Skew samplers (fresh per attribute family for independence).
+	var custPick, suppPick, natPick func() int64
+	if cfg.Skewed {
+		zc := NewZipf(rand.New(rand.NewSource(cfg.Seed+1)), cfg.Z, nCust)
+		zs := NewZipf(rand.New(rand.NewSource(cfg.Seed+2)), cfg.Z, nSupp)
+		zn := NewZipf(rand.New(rand.NewSource(cfg.Seed+3)), cfg.Z, 25)
+		custPick = func() int64 { return int64(zc.Next()) }
+		suppPick = func() int64 { return int64(zs.Next()) }
+		natPick = func() int64 { return int64(zn.Next()) }
+	} else {
+		custPick = func() int64 { return rng.Int63n(int64(nCust)) }
+		suppPick = func() int64 { return rng.Int63n(int64(nSupp)) }
+		natPick = func() int64 { return rng.Int63n(25) }
+	}
+
+	// SUPPLIER.
+	suppRows := make([]types.Tuple, nSupp)
+	for i := 0; i < nSupp; i++ {
+		suppRows[i] = types.Tuple{
+			types.Int(int64(i)),
+			types.Str(fmt.Sprintf("Supplier#%06d", i)),
+			types.Int(natPick()),
+			types.Float(float64(rng.Intn(1000000)) / 100),
+		}
+	}
+	d.Supplier = source.NewRelation("supplier", SupplierSchema, suppRows)
+
+	// CUSTOMER.
+	custRows := make([]types.Tuple, nCust)
+	for i := 0; i < nCust; i++ {
+		custRows[i] = types.Tuple{
+			types.Int(int64(i)),
+			types.Str(fmt.Sprintf("Customer#%06d", i)),
+			types.Int(natPick()),
+			types.Str(segments[rng.Intn(len(segments))]),
+			types.Float(float64(rng.Intn(1000000)) / 100),
+		}
+	}
+	d.Customer = source.NewRelation("customer", CustomerSchema, custRows)
+
+	// ORDERS, sorted by o_orderkey (dense keys).
+	ordRows := make([]types.Tuple, nOrd)
+	ordDate := make([]int64, nOrd)
+	for i := 0; i < nOrd; i++ {
+		date := int64(dateLo + rng.Intn(dateHi-dateLo))
+		ordDate[i] = date
+		ordRows[i] = types.Tuple{
+			types.Int(int64(i)),
+			types.Int(custPick()),
+			types.Str(statuses[rng.Intn(len(statuses))]),
+			types.Float(0), // filled after lineitems
+			types.Int(date),
+			types.Int(int64(rng.Intn(2))),
+		}
+	}
+
+	// LINEITEM: 1..7 lines per order (mean 4, TPC-H-like), sorted by
+	// l_orderkey. Under skew, line counts and measures are zipfy too.
+	var liRows []types.Tuple
+	var quantPick func() float64
+	if cfg.Skewed {
+		zq := NewZipf(rand.New(rand.NewSource(cfg.Seed+4)), cfg.Z, 50)
+		quantPick = func() float64 { return float64(zq.Next() + 1) }
+	} else {
+		quantPick = func() float64 { return float64(rng.Intn(50) + 1) }
+	}
+	for o := 0; o < nOrd; o++ {
+		lines := 1 + rng.Intn(7)
+		total := 0.0
+		for ln := 0; ln < lines; ln++ {
+			qty := quantPick()
+			price := qty * (900 + float64(rng.Intn(100000))/100)
+			disc := float64(rng.Intn(11)) / 100
+			ship := ordDate[o] + int64(1+rng.Intn(120))
+			liRows = append(liRows, types.Tuple{
+				types.Int(int64(o)),
+				types.Int(int64(ln + 1)),
+				types.Int(suppPick()),
+				types.Float(qty),
+				types.Float(price),
+				types.Float(disc),
+				types.Str(returnFlags[rng.Intn(len(returnFlags))]),
+				types.Int(ship),
+			})
+			total += price
+		}
+		ordRows[o][3] = types.Float(total)
+	}
+	d.Orders = source.NewRelation("orders", OrdersSchema, ordRows)
+	d.Lineitem = source.NewRelation("lineitem", LineitemSchema, liRows)
+	return d
+}
+
+// ZipfTable generates the standalone n-row table used in the §4.5
+// predictability study: a key column plus a Zipf-distributed join
+// attribute over domain [0, domain).
+func ZipfTable(name string, n, domain int, z float64, seed int64) *source.Relation {
+	schema := types.NewSchema(
+		col(name+".k", types.KindInt),
+		col(name+".zattr", types.KindInt),
+	)
+	zs := NewZipf(rand.New(rand.NewSource(seed)), z, domain)
+	rows := make([]types.Tuple, n)
+	for i := 0; i < n; i++ {
+		rows[i] = types.Tuple{types.Int(int64(i)), types.Int(int64(zs.Next()))}
+	}
+	return source.NewRelation(name, schema, rows)
+}

@@ -1,0 +1,48 @@
+// Package datagen generates the evaluation datasets of the paper (§3.5):
+// a TPC-H-style database at a configurable scale factor, in a uniform
+// variant and in a skewed variant that applies a Zipf distribution with
+// z = 0.5 to the major (join and measure) attributes — our stand-in for
+// the Microsoft Research skewed TPC-D generator the authors used. All
+// generation is deterministic given a seed.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples ranks 1..N with probability proportional to 1/rank^z. The
+// standard library's rand.Zipf requires z > 1; the paper uses z = 0.5, so
+// we precompute the CDF and sample by binary search. Deterministic given
+// its *rand.Rand.
+type Zipf struct {
+	rng *rand.Rand
+	cdf []float64
+}
+
+// NewZipf builds a sampler over ranks [0, n) with exponent z >= 0.
+func NewZipf(rng *rand.Rand, z float64, n int) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), z)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{rng: rng, cdf: cdf}
+}
+
+// Next returns a rank in [0, n), rank 0 being the most frequent.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// N returns the domain size.
+func (z *Zipf) N() int { return len(z.cdf) }

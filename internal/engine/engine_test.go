@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tukwila/adp/internal/algebra"
+	"github.com/tukwila/adp/internal/core"
+	"github.com/tukwila/adp/internal/expr"
+	"github.com/tukwila/adp/internal/source"
+	"github.com/tukwila/adp/internal/types"
+)
+
+func testEngine() *Engine {
+	oSchema := types.NewSchema(
+		types.Column{Name: "orders.id", Kind: types.KindInt},
+		types.Column{Name: "orders.cust", Kind: types.KindInt},
+		types.Column{Name: "orders.total", Kind: types.KindFloat},
+	)
+	cSchema := types.NewSchema(
+		types.Column{Name: "cust.id", Kind: types.KindInt},
+		types.Column{Name: "cust.name", Kind: types.KindString},
+	)
+	var oRows, cRows []types.Tuple
+	for i := int64(0); i < 100; i++ {
+		oRows = append(oRows, types.Tuple{types.Int(i), types.Int(i % 10), types.Float(float64(i))})
+	}
+	for i := int64(0); i < 10; i++ {
+		cRows = append(cRows, types.Tuple{types.Int(i), types.Str("c" + types.Int(i).String())})
+	}
+	e := New()
+	e.Register(source.NewRelation("orders", oSchema, oRows))
+	e.Register(source.NewRelation("cust", cSchema, cRows))
+	return e
+}
+
+func TestBuilderAndExecute(t *testing.T) {
+	e := testEngine()
+	q := e.Query("spend").
+		From("orders", "cust").
+		Join("orders", "cust", "cust", "id").
+		GroupBy("cust.name").
+		Agg(algebra.AggSum, expr.Column("orders.total"), "spend").
+		MustBuild()
+	rep, err := e.Execute(q, core.Options{Strategy: core.Static})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 10 {
+		t.Fatalf("groups = %d, want 10", len(rep.Rows))
+	}
+	var total float64
+	for _, r := range rep.Rows {
+		total += r[1].F
+	}
+	if total != 99*100/2 {
+		t.Errorf("total spend = %g, want 4950", total)
+	}
+	// Execute twice: fresh providers each time.
+	rep2, err := e.Execute(q, core.Options{Strategy: core.Corrective, PollEvery: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Rows) != 10 {
+		t.Error("second execution saw consumed sources")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	e := testEngine()
+	if _, err := e.Query("bad").From("nope").Build(); err == nil {
+		t.Error("unknown relation should fail Build")
+	}
+	if _, err := e.Query("bad2").From("orders", "cust").Build(); err == nil {
+		t.Error("disconnected join graph should fail validation")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic")
+		}
+	}()
+	e.Query("bad3").From("nope").MustBuild()
+}
+
+func TestWhereConjoins(t *testing.T) {
+	e := testEngine()
+	q := e.Query("filtered").
+		From("orders", "cust").
+		Join("orders", "cust", "cust", "id").
+		Where("orders", expr.Ge(expr.Column("orders.id"), expr.IntLit(50))).
+		Where("orders", expr.Lt(expr.Column("orders.id"), expr.IntLit(60))).
+		Select("orders.id", "cust.name").
+		MustBuild()
+	rep, err := e.Execute(q, core.Options{Strategy: core.Static})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 10 {
+		t.Errorf("rows = %d, want 10", len(rep.Rows))
+	}
+}
+
+func TestExecuteUnknownRelation(t *testing.T) {
+	e := testEngine()
+	q := &algebra.Query{Name: "x", Relations: []algebra.RelRef{{Name: "ghost",
+		Schema: types.NewSchema(types.Column{Name: "ghost.a", Kind: types.KindInt})}}}
+	if _, err := e.Execute(q, core.Options{}); err == nil {
+		t.Error("unregistered relation should error")
+	}
+}
+
+func TestAdvertisedCardinalitiesFlow(t *testing.T) {
+	e := testEngine()
+	e.AdvertiseCardinality("orders", 100).AdvertiseCardinality("cust", 10)
+	q := e.Query("q").From("orders", "cust").Join("orders", "cust", "cust", "id").
+		GroupBy("cust.id").Agg(algebra.AggCount, nil, "n").MustBuild()
+	rep, err := e.Execute(q, core.Options{Strategy: core.Static})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 10 {
+		t.Error("result wrong with advertised cards")
+	}
+}
+
+func TestRelationsAndLookup(t *testing.T) {
+	e := testEngine()
+	if got := e.Relations(); len(got) != 2 || got[0] != "cust" {
+		t.Errorf("Relations = %v", got)
+	}
+	if _, ok := e.Relation("orders"); !ok {
+		t.Error("Relation lookup failed")
+	}
+	if _, ok := e.Relation("ghost"); ok {
+		t.Error("ghost relation found")
+	}
+}
+
+func TestRegisterRemote(t *testing.T) {
+	e := testEngine()
+	rel, _ := e.Relation("orders")
+	e.RegisterRemote(rel, source.Bandwidth{TuplesPerSec: 1000})
+	q := e.Query("q").From("orders", "cust").Join("orders", "cust", "cust", "id").
+		Select("orders.id").MustBuild()
+	rep, err := e.Execute(q, core.Options{Strategy: core.Static})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.VirtualSeconds < 0.09 {
+		t.Errorf("remote delivery should take >= 0.1 virtual seconds, got %g", rep.VirtualSeconds)
+	}
+}
+
+func TestFormatRows(t *testing.T) {
+	s := types.NewSchema(
+		types.Column{Name: "a", Kind: types.KindInt},
+		types.Column{Name: "b", Kind: types.KindString},
+	)
+	rows := []types.Tuple{
+		{types.Int(1), types.Str("x")},
+		{types.Int(2), types.Str("yy")},
+		{types.Int(3), types.Str("z")},
+	}
+	out := FormatRows(s, rows, 2)
+	if !strings.Contains(out, "a") || !strings.Contains(out, "yy") {
+		t.Errorf("FormatRows output missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "1 more rows") {
+		t.Errorf("FormatRows should note truncation:\n%s", out)
+	}
+	full := FormatRows(s, rows, 0)
+	if strings.Contains(full, "more rows") {
+		t.Error("limit 0 should print everything")
+	}
+}

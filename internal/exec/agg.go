@@ -1,0 +1,549 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tukwila/adp/internal/algebra"
+	"github.com/tukwila/adp/internal/expr"
+	"github.com/tukwila/adp/internal/stats"
+	"github.com/tukwila/adp/internal/types"
+)
+
+// aggState is the distributive state of one aggregate in one group. Every
+// paper aggregate (min, max, sum, count, avg) is covered: avg decomposes
+// into sum+count (§2.2 footnote 1), which is why pre-aggregation and
+// cross-phase shared group-bys are sound.
+type aggState struct {
+	has    bool
+	minmax types.Value
+	sum    float64
+	cnt    int64
+}
+
+func (s *aggState) accumulate(kind algebra.AggKind, v types.Value) {
+	switch kind {
+	case algebra.AggCount:
+		s.cnt++
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	switch kind {
+	case algebra.AggMin:
+		if !s.has || types.Compare(v, s.minmax) < 0 {
+			s.minmax = v
+		}
+	case algebra.AggMax:
+		if !s.has || types.Compare(v, s.minmax) > 0 {
+			s.minmax = v
+		}
+	case algebra.AggSum:
+		s.sum += v.AsFloat()
+	case algebra.AggAvg:
+		s.sum += v.AsFloat()
+	}
+	s.cnt++
+	s.has = true
+}
+
+// merge folds a partial state (from a pre-aggregation or another phase)
+// into s.
+func (s *aggState) merge(kind algebra.AggKind, other aggState) {
+	switch kind {
+	case algebra.AggMin:
+		if other.has && (!s.has || types.Compare(other.minmax, s.minmax) < 0) {
+			s.minmax = other.minmax
+			s.has = true
+		}
+	case algebra.AggMax:
+		if other.has && (!s.has || types.Compare(other.minmax, s.minmax) > 0) {
+			s.minmax = other.minmax
+			s.has = true
+		}
+	case algebra.AggSum, algebra.AggAvg:
+		s.sum += other.sum
+		s.cnt += other.cnt
+		s.has = s.has || other.has
+	case algebra.AggCount:
+		s.cnt += other.cnt
+	}
+}
+
+func (s *aggState) final(kind algebra.AggKind) types.Value {
+	switch kind {
+	case algebra.AggMin, algebra.AggMax:
+		if !s.has {
+			return types.Null()
+		}
+		return s.minmax
+	case algebra.AggSum:
+		return types.Float(s.sum)
+	case algebra.AggCount:
+		return types.Int(s.cnt)
+	default: // avg
+		if s.cnt == 0 {
+			return types.Null()
+		}
+		return types.Float(s.sum / float64(s.cnt))
+	}
+}
+
+// partialCols returns the partial-tuple state values of s in the layout of
+// algebra.GroupSchema(partial=true).
+func (s *aggState) partialCols(kind algebra.AggKind) []types.Value {
+	switch kind {
+	case algebra.AggMin, algebra.AggMax:
+		if !s.has {
+			return []types.Value{types.Null()}
+		}
+		return []types.Value{s.minmax}
+	case algebra.AggSum:
+		return []types.Value{types.Float(s.sum)}
+	case algebra.AggCount:
+		return []types.Value{types.Int(s.cnt)}
+	default: // avg -> sum, cnt
+		return []types.Value{types.Float(s.sum), types.Int(s.cnt)}
+	}
+}
+
+// loadPartial parses one partial tuple's state columns starting at col;
+// it returns the parsed state and the next column index.
+func loadPartial(kind algebra.AggKind, t types.Tuple, col int) (aggState, int) {
+	switch kind {
+	case algebra.AggMin, algebra.AggMax:
+		v := t[col]
+		return aggState{has: !v.IsNull(), minmax: v}, col + 1
+	case algebra.AggSum:
+		return aggState{has: true, sum: t[col].AsFloat()}, col + 1
+	case algebra.AggCount:
+		return aggState{cnt: t[col].AsInt()}, col + 1
+	default: // avg
+		return aggState{has: true, sum: t[col].AsFloat(), cnt: t[col+1].AsInt()}, col + 2
+	}
+}
+
+type aggGroup struct {
+	groupVals []types.Value
+	states    []aggState
+}
+
+// AggTable is the hash-based aggregation state structure shared across ADP
+// phases: the "shared Group-by operator" of Figure 1. Raw tuples (in the
+// table's input layout) and partial tuples (in the corresponding partial
+// layout) may be absorbed in any interleaving; EmitFinal produces the
+// final aggregate relation.
+type AggTable struct {
+	ctx      *Context
+	in       *types.Schema
+	groupBy  []string
+	aggs     []algebra.AggSpec
+	groupIdx []int
+	argEvals []expr.Evaluator
+
+	outSchema     *types.Schema
+	partialSchema *types.Schema
+
+	groups   map[string]*aggGroup
+	counters stats.OpCounters
+}
+
+// NewAggTable builds an aggregation table over raw input layout in.
+func NewAggTable(ctx *Context, in *types.Schema, groupBy []string, aggs []algebra.AggSpec) (*AggTable, error) {
+	a := &AggTable{
+		ctx:           ctx,
+		in:            in,
+		groupBy:       groupBy,
+		aggs:          aggs,
+		outSchema:     algebra.GroupSchema(in, groupBy, aggs, false),
+		partialSchema: algebra.GroupSchema(in, groupBy, aggs, true),
+		groups:        make(map[string]*aggGroup),
+	}
+	for _, g := range groupBy {
+		i := in.IndexOf(g)
+		if i < 0 {
+			return nil, fmt.Errorf("exec: group-by column %q not in input %v", g, in.Names())
+		}
+		a.groupIdx = append(a.groupIdx, i)
+	}
+	for _, spec := range aggs {
+		if spec.Arg == nil {
+			a.argEvals = append(a.argEvals, nil)
+			continue
+		}
+		ev, err := spec.Arg.Bind(in)
+		if err != nil {
+			return nil, fmt.Errorf("exec: aggregate %s: %w", spec, err)
+		}
+		a.argEvals = append(a.argEvals, ev)
+	}
+	return a, nil
+}
+
+// Schema returns the final output layout.
+func (a *AggTable) Schema() *types.Schema { return a.outSchema }
+
+// PartialSchema returns the layout of partial tuples this table accepts.
+func (a *AggTable) PartialSchema() *types.Schema { return a.partialSchema }
+
+// Counters exposes statistics.
+func (a *AggTable) Counters() *stats.OpCounters { return &a.counters }
+
+// Groups returns the current number of groups.
+func (a *AggTable) Groups() int { return len(a.groups) }
+
+func (a *AggTable) groupFor(vals []types.Value) *aggGroup {
+	key := types.EncodeKey(types.Tuple(vals), seqIdx(len(vals)))
+	g, ok := a.groups[key]
+	if !ok {
+		g = &aggGroup{groupVals: vals, states: make([]aggState, len(a.aggs))}
+		a.groups[key] = g
+	}
+	return g
+}
+
+func seqIdx(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// AbsorbRaw folds one raw tuple (input layout).
+func (a *AggTable) AbsorbRaw(t types.Tuple) {
+	a.counters.In++
+	a.ctx.Clock.Charge(a.ctx.Cost.AggUpdate)
+	vals := make([]types.Value, len(a.groupIdx))
+	for i, gi := range a.groupIdx {
+		vals[i] = t[gi]
+	}
+	g := a.groupFor(vals)
+	for i, spec := range a.aggs {
+		var v types.Value
+		if a.argEvals[i] != nil {
+			v = a.argEvals[i](t)
+		}
+		g.states[i].accumulate(spec.Kind, v)
+	}
+}
+
+// Push implements Sink as AbsorbRaw, letting an AggTable terminate a push
+// pipeline directly.
+func (a *AggTable) Push(t types.Tuple) { a.AbsorbRaw(t) }
+
+// AbsorbPartial folds one partial tuple (PartialSchema layout), merging
+// pre-aggregated states: the final GROUP BY "coalesces pre-grouped
+// information instead of operating on original tuples" (§2.2).
+func (a *AggTable) AbsorbPartial(t types.Tuple) {
+	a.counters.In++
+	a.ctx.Clock.Charge(a.ctx.Cost.AggUpdate)
+	ng := len(a.groupIdx)
+	vals := make([]types.Value, ng)
+	copy(vals, t[:ng])
+	g := a.groupFor(vals)
+	col := ng
+	for i, spec := range a.aggs {
+		var st aggState
+		st, col = loadPartial(spec.Kind, t, col)
+		g.states[i].merge(spec.Kind, st)
+	}
+}
+
+// EmitFinal produces the final aggregate relation, sorted by group values
+// for determinism, and charges output costs.
+func (a *AggTable) EmitFinal() []types.Tuple {
+	gs := make([]*aggGroup, 0, len(a.groups))
+	for _, g := range a.groups {
+		gs = append(gs, g)
+	}
+	idx := seqIdx(len(a.groupIdx))
+	sort.Slice(gs, func(i, j int) bool {
+		return types.CompareKey(types.Tuple(gs[i].groupVals), idx, types.Tuple(gs[j].groupVals), idx) < 0
+	})
+	out := make([]types.Tuple, 0, len(gs))
+	for _, g := range gs {
+		t := make(types.Tuple, 0, len(g.groupVals)+len(a.aggs))
+		t = append(t, g.groupVals...)
+		for i, spec := range a.aggs {
+			t = append(t, g.states[i].final(spec.Kind))
+		}
+		a.ctx.Clock.Charge(a.ctx.Cost.Move)
+		a.counters.Out++
+		out = append(out, t)
+	}
+	return out
+}
+
+// EmitPartial produces the table's groups as partial-layout tuples
+// (PartialSchema), sorted by group values. A blocking AggTable emitting
+// partials is exactly the paper's "traditional pre-aggregation" operator
+// (§6): correct, but unpipelined.
+func (a *AggTable) EmitPartial() []types.Tuple {
+	gs := make([]*aggGroup, 0, len(a.groups))
+	for _, g := range a.groups {
+		gs = append(gs, g)
+	}
+	idx := seqIdx(len(a.groupIdx))
+	sort.Slice(gs, func(i, j int) bool {
+		return types.CompareKey(types.Tuple(gs[i].groupVals), idx, types.Tuple(gs[j].groupVals), idx) < 0
+	})
+	out := make([]types.Tuple, 0, len(gs))
+	for _, g := range gs {
+		t := make(types.Tuple, 0, len(g.groupVals)+len(a.aggs)+1)
+		t = append(t, g.groupVals...)
+		for i, spec := range a.aggs {
+			t = append(t, g.states[i].partialCols(spec.Kind)...)
+		}
+		a.ctx.Clock.Charge(a.ctx.Cost.Move)
+		a.counters.Out++
+		out = append(out, t)
+	}
+	return out
+}
+
+// Pseudogroup converts raw tuples into partial-layout singletons: "a
+// trivial pseudogroup operator that essentially performs pre-aggregation
+// over each successive singleton tuple set ... it costs little more than a
+// conventional projection operation" (§3.2). Inserting it wherever a
+// pre-aggregation point exists keeps subexpression schemas identical
+// across plans that did or did not pre-aggregate.
+type Pseudogroup struct {
+	ctx      *Context
+	groupIdx []int
+	aggs     []algebra.AggSpec
+	argEvals []expr.Evaluator
+	schema   *types.Schema
+	out      Sink
+	counters stats.OpCounters
+}
+
+// NewPseudogroup builds the operator for input layout in.
+func NewPseudogroup(ctx *Context, in *types.Schema, groupBy []string, aggs []algebra.AggSpec, out Sink) (*Pseudogroup, error) {
+	p := &Pseudogroup{
+		ctx:    ctx,
+		aggs:   aggs,
+		schema: algebra.GroupSchema(in, groupBy, aggs, true),
+		out:    out,
+	}
+	for _, g := range groupBy {
+		i := in.IndexOf(g)
+		if i < 0 {
+			return nil, fmt.Errorf("exec: pseudogroup column %q not in input", g)
+		}
+		p.groupIdx = append(p.groupIdx, i)
+	}
+	for _, spec := range aggs {
+		if spec.Arg == nil {
+			p.argEvals = append(p.argEvals, nil)
+			continue
+		}
+		ev, err := spec.Arg.Bind(in)
+		if err != nil {
+			return nil, err
+		}
+		p.argEvals = append(p.argEvals, ev)
+	}
+	return p, nil
+}
+
+// Schema returns the partial layout produced.
+func (p *Pseudogroup) Schema() *types.Schema { return p.schema }
+
+// Counters exposes statistics.
+func (p *Pseudogroup) Counters() *stats.OpCounters { return &p.counters }
+
+// Push implements Sink.
+func (p *Pseudogroup) Push(t types.Tuple) {
+	p.counters.In++
+	p.counters.Out++
+	p.ctx.Clock.Charge(p.ctx.Cost.Move)
+	out := make(types.Tuple, 0, len(p.groupIdx)+len(p.aggs)+1)
+	for _, gi := range p.groupIdx {
+		out = append(out, t[gi])
+	}
+	for i, spec := range p.aggs {
+		var st aggState
+		var v types.Value
+		if p.argEvals[i] != nil {
+			v = p.argEvals[i](t)
+		}
+		st.accumulate(spec.Kind, v)
+		out = append(out, st.partialCols(spec.Kind)...)
+	}
+	p.out.Push(out)
+}
+
+// WindowPreAgg is the paper's adjustable sliding-window pre-aggregation
+// operator (§2.3, §6): it partially pre-aggregates every w tuples,
+// emitting each window's partial groups downstream, and adapts w to the
+// observed coalescing ratio — doubling the window when pre-aggregation is
+// effective, halving it (down to pseudogroup pass-through at w=1) when it
+// is not. Unlike a traditional pre-aggregate it is fully pipelined.
+type WindowPreAgg struct {
+	ctx      *Context
+	in       *types.Schema
+	groupIdx []int
+	aggs     []algebra.AggSpec
+	argEvals []expr.Evaluator
+	schema   *types.Schema
+	out      Sink
+
+	// W is the current window size; MinW/MaxW bound adaptation.
+	W, MinW, MaxW int
+	// GrowBelow/ShrinkAbove are coalescing-ratio thresholds
+	// (groups emitted / tuples absorbed in the window).
+	GrowBelow, ShrinkAbove float64
+
+	cur  map[string]*aggGroup
+	curN int
+
+	counters stats.OpCounters
+	// WindowsFlushed and Coalesced instrument the adaptation policy.
+	WindowsFlushed int
+	Coalesced      int64 // tuples absorbed minus partials emitted
+	// WindowTrace records the window size at each flush (ablation).
+	WindowTrace []int
+}
+
+// NewWindowPreAgg builds the operator with the default policy (initial
+// window 64, bounds [1, 64k], grow below 0.75, shrink above 0.95).
+func NewWindowPreAgg(ctx *Context, in *types.Schema, groupBy []string, aggs []algebra.AggSpec, out Sink) (*WindowPreAgg, error) {
+	w := &WindowPreAgg{
+		ctx:         ctx,
+		in:          in,
+		aggs:        aggs,
+		schema:      algebra.GroupSchema(in, groupBy, aggs, true),
+		out:         out,
+		W:           64,
+		MinW:        1,
+		MaxW:        64 * 1024,
+		GrowBelow:   0.75,
+		ShrinkAbove: 0.95,
+		cur:         make(map[string]*aggGroup),
+	}
+	for _, g := range groupBy {
+		i := in.IndexOf(g)
+		if i < 0 {
+			return nil, fmt.Errorf("exec: window pre-agg column %q not in input", g)
+		}
+		w.groupIdx = append(w.groupIdx, i)
+	}
+	for _, spec := range aggs {
+		if spec.Arg == nil {
+			w.argEvals = append(w.argEvals, nil)
+			continue
+		}
+		ev, err := spec.Arg.Bind(in)
+		if err != nil {
+			return nil, err
+		}
+		w.argEvals = append(w.argEvals, ev)
+	}
+	return w, nil
+}
+
+// Schema returns the partial layout produced.
+func (w *WindowPreAgg) Schema() *types.Schema { return w.schema }
+
+// Counters exposes statistics.
+func (w *WindowPreAgg) Counters() *stats.OpCounters { return &w.counters }
+
+// Push implements Sink.
+func (w *WindowPreAgg) Push(t types.Tuple) {
+	w.counters.In++
+	if w.W <= 1 {
+		// Degenerate window: pseudogroup pass-through, costing "little
+		// more than a conventional projection operation" (§3.2) — this is
+		// what makes the operator low-risk on non-coalescing data (§6).
+		w.pushSingleton(t)
+		return
+	}
+	w.ctx.Clock.Charge(w.ctx.Cost.AggUpdate)
+	vals := make([]types.Value, len(w.groupIdx))
+	for i, gi := range w.groupIdx {
+		vals[i] = t[gi]
+	}
+	key := types.EncodeKey(types.Tuple(vals), seqIdx(len(vals)))
+	g, ok := w.cur[key]
+	if !ok {
+		g = &aggGroup{groupVals: vals, states: make([]aggState, len(w.aggs))}
+		w.cur[key] = g
+	}
+	for i, spec := range w.aggs {
+		var v types.Value
+		if w.argEvals[i] != nil {
+			v = w.argEvals[i](t)
+		}
+		g.states[i].accumulate(spec.Kind, v)
+	}
+	w.curN++
+	if w.curN >= w.W {
+		w.flush()
+	}
+}
+
+// pushSingleton converts one tuple into a partial-layout singleton and
+// forwards it (the w=1 pass-through mode).
+func (w *WindowPreAgg) pushSingleton(t types.Tuple) {
+	w.ctx.Clock.Charge(w.ctx.Cost.Move)
+	out := make(types.Tuple, 0, len(w.groupIdx)+len(w.aggs)+1)
+	for _, gi := range w.groupIdx {
+		out = append(out, t[gi])
+	}
+	for i, spec := range w.aggs {
+		var st aggState
+		var v types.Value
+		if w.argEvals[i] != nil {
+			v = w.argEvals[i](t)
+		}
+		st.accumulate(spec.Kind, v)
+		out = append(out, st.partialCols(spec.Kind)...)
+	}
+	w.counters.Out++
+	w.out.Push(out)
+}
+
+// flush emits the current window's partial groups and adapts the window
+// size to the coalescing ratio.
+func (w *WindowPreAgg) flush() {
+	if w.curN == 0 {
+		return
+	}
+	keys := make([]string, 0, len(w.cur))
+	for k := range w.cur {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g := w.cur[k]
+		t := make(types.Tuple, 0, len(g.groupVals)+len(w.aggs)+1)
+		t = append(t, g.groupVals...)
+		for i, spec := range w.aggs {
+			t = append(t, g.states[i].partialCols(spec.Kind)...)
+		}
+		w.ctx.Clock.Charge(w.ctx.Cost.Move)
+		w.counters.Out++
+		w.out.Push(t)
+	}
+	ratio := float64(len(w.cur)) / float64(w.curN)
+	w.Coalesced += int64(w.curN - len(w.cur))
+	w.WindowsFlushed++
+	w.WindowTrace = append(w.WindowTrace, w.W)
+	switch {
+	case ratio <= w.GrowBelow:
+		if w.W*2 <= w.MaxW {
+			w.W *= 2
+		}
+	case ratio >= w.ShrinkAbove:
+		if w.W/2 >= w.MinW {
+			w.W /= 2
+		}
+	}
+	w.cur = make(map[string]*aggGroup)
+	w.curN = 0
+}
+
+// Finish flushes the last (possibly short) window.
+func (w *WindowPreAgg) Finish() { w.flush() }

@@ -1,0 +1,113 @@
+package exec
+
+import (
+	"github.com/tukwila/adp/internal/source"
+	"github.com/tukwila/adp/internal/stats"
+	"github.com/tukwila/adp/internal/types"
+)
+
+// Leaf connects one source provider to the operator tree. Per-relation
+// selection predicates push down to the leaf; optional instrumentation
+// hooks feed histograms and order detectors (§3.3, §4.5), with their CPU
+// overhead charged to the clock so the overhead experiment is honest.
+type Leaf struct {
+	Provider *source.Provider
+	// Push delivers a post-filter tuple into the plan.
+	Push func(t types.Tuple)
+	// Pred is the bound local selection (nil = none).
+	Pred func(t types.Tuple) bool
+	// OnTuple observes every tuple read (pre-filter), e.g. histogram
+	// maintenance. Charged HistUpdate per call.
+	OnTuple func(t types.Tuple)
+
+	// Read counts tuples consumed from the provider by this driver;
+	// Passed counts tuples surviving the filter.
+	Read   int64
+	Passed int64
+}
+
+// Driver delivers source tuples into a plan in global availability order:
+// at each step the leaf whose next tuple arrives earliest is serviced.
+// This models Tukwila's adaptive scheduling — when one source stalls,
+// another's tuples are processed, masking I/O delays (§3.3) — while
+// remaining fully deterministic.
+type Driver struct {
+	ctx    *Context
+	leaves []*Leaf
+	// Delivered counts tuples delivered across all leaves.
+	Delivered int64
+	counters  stats.OpCounters
+}
+
+// NewDriver creates a driver over the given leaves.
+func NewDriver(ctx *Context, leaves ...*Leaf) *Driver {
+	return &Driver{ctx: ctx, leaves: leaves}
+}
+
+// Leaves returns the attached leaves.
+func (d *Driver) Leaves() []*Leaf { return d.leaves }
+
+// Step delivers a single tuple from the earliest-available non-exhausted
+// leaf; ok=false when all sources are exhausted.
+func (d *Driver) Step() bool {
+	best := -1
+	bestAt := 0.0
+	for i, l := range d.leaves {
+		at, ok := l.Provider.PeekArrival()
+		if !ok {
+			continue
+		}
+		if best < 0 || at < bestAt {
+			best, bestAt = i, at
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	l := d.leaves[best]
+	row, _ := l.Provider.Next()
+	d.ctx.Clock.AdvanceTo(row.At)
+	l.Read++
+	d.Delivered++
+	d.counters.In++
+	if l.OnTuple != nil {
+		d.ctx.Clock.Charge(d.ctx.Cost.HistUpdate)
+		l.OnTuple(row.T)
+	}
+	if l.Pred != nil {
+		d.ctx.Clock.Charge(d.ctx.Cost.Compare)
+		if !l.Pred(row.T) {
+			return true
+		}
+	}
+	l.Passed++
+	d.counters.Out++
+	l.Push(row.T)
+	return true
+}
+
+// Run delivers tuples until the sources are exhausted or poll asks to
+// stop. poll (optional) is invoked after every pollEvery delivered tuples;
+// returning true suspends the run — execution is then at a consistent
+// state, because suspension happens between source-tuple deliveries and
+// every operator has fully processed what it was fed ("allow the plan to
+// reach a consistent state", §4.1). Run reports whether the sources are
+// exhausted.
+func (d *Driver) Run(pollEvery int, poll func() bool) (exhausted bool) {
+	sincePoll := 0
+	for {
+		if !d.Step() {
+			return true
+		}
+		if poll == nil {
+			continue
+		}
+		sincePoll++
+		if sincePoll >= pollEvery {
+			sincePoll = 0
+			if poll() {
+				return false
+			}
+		}
+	}
+}

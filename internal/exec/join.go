@@ -1,0 +1,375 @@
+package exec
+
+import (
+	"github.com/tukwila/adp/internal/state"
+	"github.com/tukwila/adp/internal/stats"
+	"github.com/tukwila/adp/internal/types"
+)
+
+// Sink receives output tuples from a push operator.
+type Sink interface {
+	Push(t types.Tuple)
+}
+
+// SinkFunc adapts a function to a Sink.
+type SinkFunc func(t types.Tuple)
+
+// Push implements Sink.
+func (f SinkFunc) Push(t types.Tuple) { f(t) }
+
+// Discard is a Sink that drops tuples (benchmarks disable query output to
+// eliminate client feedback, §3.5).
+var Discard = SinkFunc(func(types.Tuple) {})
+
+// JoinStyle selects the iterator module driving a join node's state
+// structures (§3.1): data-availability-driven (pipelined hash),
+// build-then-probe (hybrid hash), or nested-loops-style iteration.
+// Merge-driven joins have their own node type (MergeJoin).
+type JoinStyle uint8
+
+// Join styles.
+const (
+	// Pipelined is the symmetric (data-availability-driven) hash join:
+	// each arriving tuple is inserted into its side's table and probes
+	// the opposite table immediately.
+	Pipelined JoinStyle = iota
+	// BuildThenProbe buffers probe-side (left) tuples until the build
+	// side (right) finishes, as in a hybrid hash join.
+	BuildThenProbe
+	// NestedLoops buffers the inner (right) side in a list and scans it
+	// per outer tuple.
+	NestedLoops
+)
+
+// String names the style.
+func (s JoinStyle) String() string {
+	switch s {
+	case Pipelined:
+		return "pipelined-hash"
+	case BuildThenProbe:
+		return "hybrid-hash"
+	default:
+		return "nested-loops"
+	}
+}
+
+// HashJoin is a binary equijoin push node. Both inputs are buffered in
+// state structures — the ADP requirement that "every plan must buffer the
+// source data fed into it at the leaves, so this data can be joined with
+// data in the other plans" (§3.4) — and those structures are exposed for
+// reuse by stitch-up plans.
+type HashJoin struct {
+	Style    JoinStyle
+	ctx      *Context
+	out      Sink
+	leftKey  []int
+	rightKey []int
+	schema   *types.Schema
+
+	left  state.Keyed // buffered left tuples (hash or list)
+	right state.Keyed
+
+	leftList  *state.List // nested-loops storage
+	rightList *state.List
+
+	pendingProbes []types.Tuple // BuildThenProbe: left tuples awaiting build
+	leftDone      bool
+	rightDone     bool
+
+	counters stats.OpCounters
+}
+
+// NewHashJoin creates a join node. leftKey/rightKey are column positions
+// of the equijoin keys in the respective input layouts; leftSchema and
+// rightSchema describe the inputs; out receives concatenated
+// (left ++ right) tuples.
+func NewHashJoin(ctx *Context, style JoinStyle, leftSchema, rightSchema *types.Schema, leftKey, rightKey []int, out Sink) *HashJoin {
+	j := &HashJoin{
+		Style:    style,
+		ctx:      ctx,
+		out:      out,
+		leftKey:  leftKey,
+		rightKey: rightKey,
+		schema:   leftSchema.Concat(rightSchema),
+	}
+	if style == NestedLoops {
+		j.leftList = state.NewList(leftSchema)
+		j.rightList = state.NewList(rightSchema)
+	} else {
+		j.left = state.NewHashTable(leftSchema, leftKey)
+		j.right = state.NewHashTable(rightSchema, rightKey)
+	}
+	return j
+}
+
+// Schema returns the output layout.
+func (j *HashJoin) Schema() *types.Schema { return j.schema }
+
+// SizeTables allocates fixed-bucket hash tables from the optimizer's
+// cardinality estimates, reproducing Tukwila's behaviour: table memory can
+// grow, but bucket counts are fixed at creation, so an under-estimated
+// input suffers bucket collisions for the rest of the query (§4.4).
+// No-op for nested-loops joins.
+func (j *HashJoin) SizeTables(estLeft, estRight float64) {
+	if j.Style == NestedLoops {
+		return
+	}
+	size := func(est float64) int {
+		if est < 64 {
+			return 64
+		}
+		if est > 1<<26 {
+			return 1 << 26
+		}
+		return int(est)
+	}
+	lt := state.NewHashTableSized(j.left.Schema(), j.leftKey, size(estLeft))
+	lt.Fixed = true
+	rt := state.NewHashTableSized(j.right.Schema(), j.rightKey, size(estRight))
+	rt.Fixed = true
+	j.left, j.right = lt, rt
+}
+
+// Counters exposes the operator's statistics block (§3.3).
+func (j *HashJoin) Counters() *stats.OpCounters { return &j.counters }
+
+// Tables exposes the buffered state structures for stitch-up reuse; nil
+// for nested-loops (whose lists are exposed via Lists).
+func (j *HashJoin) Tables() (left, right state.Keyed) { return j.left, j.right }
+
+// Lists exposes nested-loops buffers.
+func (j *HashJoin) Lists() (left, right *state.List) { return j.leftList, j.rightList }
+
+// keyValues extracts the key columns of t.
+func keyValues(t types.Tuple, cols []int) []types.Value {
+	out := make([]types.Value, len(cols))
+	for i, c := range cols {
+		out[i] = t[c]
+	}
+	return out
+}
+
+// PushLeft feeds one tuple into the left input.
+func (j *HashJoin) PushLeft(t types.Tuple) {
+	j.counters.In++
+	j.counters.InLeft++
+	switch j.Style {
+	case Pipelined:
+		j.left.Insert(t)
+		j.ctx.Clock.Charge(j.ctx.Cost.HashInsert)
+		j.probeRight(t)
+	case BuildThenProbe:
+		j.left.Insert(t)
+		j.ctx.Clock.Charge(j.ctx.Cost.HashInsert)
+		if j.rightDone {
+			j.probeRight(t)
+		} else {
+			j.pendingProbes = append(j.pendingProbes, t)
+		}
+	case NestedLoops:
+		j.leftList.Insert(t)
+		j.ctx.Clock.Charge(j.ctx.Cost.Move)
+		j.scanRight(t)
+	}
+}
+
+// PushRight feeds one tuple into the right input.
+func (j *HashJoin) PushRight(t types.Tuple) {
+	j.counters.In++
+	j.counters.InRight++
+	switch j.Style {
+	case Pipelined:
+		j.right.Insert(t)
+		j.ctx.Clock.Charge(j.ctx.Cost.HashInsert)
+		j.probeLeft(t)
+	case BuildThenProbe:
+		j.right.Insert(t)
+		j.ctx.Clock.Charge(j.ctx.Cost.HashInsert)
+		// Probes wait for FinishRight.
+	case NestedLoops:
+		j.rightList.Insert(t)
+		j.ctx.Clock.Charge(j.ctx.Cost.Move)
+		// A late inner tuple must join with all buffered outers
+		// (symmetric nested loops keeps results complete regardless of
+		// arrival interleaving).
+		j.scanLeft(t)
+	}
+}
+
+// chargeProbe accounts the scan work of one probe: hashing plus walking
+// the bucket chain. Collisions in under-sized fixed tables make this the
+// dominant cost of a mis-planned query.
+func (j *HashJoin) chargeProbe(table state.Keyed, key []types.Value) {
+	work := 1.0
+	if ht, ok := table.(*state.HashTable); ok {
+		work += float64(ht.ChainLen(key))
+	}
+	j.ctx.Clock.Charge(work * j.ctx.Cost.HashProbe)
+}
+
+func (j *HashJoin) probeRight(lt types.Tuple) {
+	key := keyValues(lt, j.leftKey)
+	j.chargeProbe(j.right, key)
+	j.right.Probe(key, func(rt types.Tuple) bool {
+		j.emit(lt, rt)
+		return true
+	})
+}
+
+func (j *HashJoin) probeLeft(rt types.Tuple) {
+	key := keyValues(rt, j.rightKey)
+	j.chargeProbe(j.left, key)
+	j.left.Probe(key, func(lt types.Tuple) bool {
+		j.emit(lt, rt)
+		return true
+	})
+}
+
+func (j *HashJoin) scanRight(lt types.Tuple) {
+	j.rightList.Scan(func(rt types.Tuple) bool {
+		j.ctx.Clock.Charge(j.ctx.Cost.Compare)
+		if lt.KeyEquals(j.leftKey, rt, j.rightKey) {
+			j.emit(lt, rt)
+		}
+		return true
+	})
+}
+
+func (j *HashJoin) scanLeft(rt types.Tuple) {
+	j.leftList.Scan(func(lt types.Tuple) bool {
+		j.ctx.Clock.Charge(j.ctx.Cost.Compare)
+		if lt.KeyEquals(j.leftKey, rt, j.rightKey) {
+			j.emit(lt, rt)
+		}
+		return true
+	})
+}
+
+func (j *HashJoin) emit(lt, rt types.Tuple) {
+	j.ctx.Clock.Charge(j.ctx.Cost.Move)
+	j.counters.Out++
+	j.out.Push(lt.Concat(rt))
+}
+
+// FinishLeft signals end of the left input.
+func (j *HashJoin) FinishLeft() { j.leftDone = true }
+
+// FinishRight signals end of the right (build) input; a build-then-probe
+// join drains its buffered probes here.
+func (j *HashJoin) FinishRight() {
+	j.rightDone = true
+	if j.Style == BuildThenProbe {
+		for _, lt := range j.pendingProbes {
+			j.probeRight(lt)
+		}
+		j.pendingProbes = nil
+	}
+}
+
+// Filter is a push node applying a bound predicate.
+type Filter struct {
+	ctx      *Context
+	pred     func(types.Tuple) bool
+	out      Sink
+	counters stats.OpCounters
+}
+
+// NewFilter builds a filter node.
+func NewFilter(ctx *Context, pred func(types.Tuple) bool, out Sink) *Filter {
+	return &Filter{ctx: ctx, pred: pred, out: out}
+}
+
+// Push implements Sink.
+func (f *Filter) Push(t types.Tuple) {
+	f.counters.In++
+	f.ctx.Clock.Charge(f.ctx.Cost.Compare)
+	if f.pred(t) {
+		f.counters.Out++
+		f.out.Push(t)
+	}
+}
+
+// Counters exposes statistics.
+func (f *Filter) Counters() *stats.OpCounters { return &f.counters }
+
+// Project is a push node permuting/trimming columns via an adapter.
+type Project struct {
+	ctx      *Context
+	adapter  *types.Adapter
+	out      Sink
+	counters stats.OpCounters
+}
+
+// NewProject builds a projection node from an adapter.
+func NewProject(ctx *Context, adapter *types.Adapter, out Sink) *Project {
+	return &Project{ctx: ctx, adapter: adapter, out: out}
+}
+
+// Push implements Sink.
+func (p *Project) Push(t types.Tuple) {
+	p.counters.In++
+	p.counters.Out++
+	p.ctx.Clock.Charge(p.ctx.Cost.Move)
+	p.out.Push(p.adapter.Adapt(t))
+}
+
+// Counters exposes statistics.
+func (p *Project) Counters() *stats.OpCounters { return &p.counters }
+
+// Combine unions several producers into one sink, counting pass-through
+// (the paper's combine operator, §3).
+type Combine struct {
+	out      Sink
+	counters stats.OpCounters
+}
+
+// NewCombine builds a combine node.
+func NewCombine(out Sink) *Combine { return &Combine{out: out} }
+
+// Push implements Sink.
+func (c *Combine) Push(t types.Tuple) {
+	c.counters.In++
+	c.counters.Out++
+	c.out.Push(t)
+}
+
+// Counters exposes statistics.
+func (c *Combine) Counters() *stats.OpCounters { return &c.counters }
+
+// Queue buffers tuples between producer and consumer, modelling the
+// inter-thread queues of Tukwila's engine (the "Q" boxes of Figure 4).
+// Drain delivers buffered tuples to the downstream sink.
+type Queue struct {
+	buf      []types.Tuple
+	out      Sink
+	counters stats.OpCounters
+}
+
+// NewQueue builds a queue in front of out.
+func NewQueue(out Sink) *Queue { return &Queue{out: out} }
+
+// Push implements Sink (enqueue).
+func (q *Queue) Push(t types.Tuple) {
+	q.counters.In++
+	q.buf = append(q.buf, t)
+}
+
+// Len returns the queued count.
+func (q *Queue) Len() int { return len(q.buf) }
+
+// Drain flushes up to max tuples (max<=0 flushes all).
+func (q *Queue) Drain(max int) int {
+	n := len(q.buf)
+	if max > 0 && max < n {
+		n = max
+	}
+	for i := 0; i < n; i++ {
+		q.counters.Out++
+		q.out.Push(q.buf[i])
+	}
+	q.buf = q.buf[n:]
+	return n
+}
+
+// Counters exposes statistics.
+func (q *Queue) Counters() *stats.OpCounters { return &q.counters }

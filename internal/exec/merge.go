@@ -1,0 +1,176 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/tukwila/adp/internal/state"
+	"github.com/tukwila/adp/internal/stats"
+	"github.com/tukwila/adp/internal/types"
+)
+
+// mergeGroup is a closed run of equal-key tuples on one merge-join input.
+type mergeGroup struct {
+	key  []types.Value
+	rows []types.Tuple
+}
+
+// mergeSide is one input of the merge join: an open (still growing) group
+// plus a FIFO of closed groups ready to match.
+type mergeSide struct {
+	keyCols []int
+	open    *mergeGroup
+	ready   []mergeGroup
+	done    bool
+	table   *state.HashTable // consumed tuples, kept for mini stitch-up
+}
+
+func (s *mergeSide) push(t types.Tuple, keyOf func(types.Tuple) []types.Value) error {
+	k := keyOf(t)
+	if s.open == nil {
+		s.open = &mergeGroup{key: k, rows: []types.Tuple{t}}
+		return nil
+	}
+	c := cmpVals(s.open.key, k)
+	switch {
+	case c == 0:
+		s.open.rows = append(s.open.rows, t)
+	case c < 0:
+		s.ready = append(s.ready, *s.open)
+		s.open = &mergeGroup{key: k, rows: []types.Tuple{t}}
+	default:
+		return fmt.Errorf("exec: merge join received out-of-order tuple (key %v after %v)", k, s.open.key)
+	}
+	return nil
+}
+
+func (s *mergeSide) finish() {
+	s.done = true
+	if s.open != nil {
+		s.ready = append(s.ready, *s.open)
+		s.open = nil
+	}
+}
+
+func cmpVals(a, b []types.Value) int {
+	for i := range a {
+		if c := types.Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// MergeJoin is a streaming merge join over two key-ordered inputs — the
+// merge half of the complementary join pair (§5). Both inputs are also
+// stored into hash tables (the merge join's local h(R)/h(S) of Figure 4)
+// so the pair's mini stitch-up can join them against the hash-side tables.
+// An out-of-order push is a routing bug and returns an error.
+type MergeJoin struct {
+	ctx    *Context
+	out    Sink
+	left   mergeSide
+	right  mergeSide
+	schema *types.Schema
+
+	counters stats.OpCounters
+}
+
+// NewMergeJoin creates the node. Inputs must arrive ascending on their key
+// columns.
+func NewMergeJoin(ctx *Context, leftSchema, rightSchema *types.Schema, leftKey, rightKey []int, out Sink) *MergeJoin {
+	return &MergeJoin{
+		ctx:    ctx,
+		out:    out,
+		schema: leftSchema.Concat(rightSchema),
+		left: mergeSide{keyCols: leftKey,
+			table: state.NewHashTable(leftSchema, leftKey)},
+		right: mergeSide{keyCols: rightKey,
+			table: state.NewHashTable(rightSchema, rightKey)},
+	}
+}
+
+// Schema returns the output layout.
+func (m *MergeJoin) Schema() *types.Schema { return m.schema }
+
+// Counters exposes statistics.
+func (m *MergeJoin) Counters() *stats.OpCounters { return &m.counters }
+
+// Tables exposes the merge join's local storage (for the pair's
+// stitch-up).
+func (m *MergeJoin) Tables() (left, right *state.HashTable) { return m.left.table, m.right.table }
+
+// PushLeft feeds an in-order tuple to the left input.
+func (m *MergeJoin) PushLeft(t types.Tuple) error {
+	m.counters.In++
+	m.counters.InLeft++
+	m.left.table.Insert(t)
+	m.ctx.Clock.Charge(m.ctx.Cost.HashInsert)
+	if err := m.left.push(t, func(t types.Tuple) []types.Value { return keyValues(t, m.left.keyCols) }); err != nil {
+		return err
+	}
+	m.advance()
+	return nil
+}
+
+// PushRight feeds an in-order tuple to the right input.
+func (m *MergeJoin) PushRight(t types.Tuple) error {
+	m.counters.In++
+	m.counters.InRight++
+	m.right.table.Insert(t)
+	m.ctx.Clock.Charge(m.ctx.Cost.HashInsert)
+	if err := m.right.push(t, func(t types.Tuple) []types.Value { return keyValues(t, m.right.keyCols) }); err != nil {
+		return err
+	}
+	m.advance()
+	return nil
+}
+
+// FinishLeft closes the left input.
+func (m *MergeJoin) FinishLeft() {
+	m.left.finish()
+	m.advance()
+}
+
+// FinishRight closes the right input.
+func (m *MergeJoin) FinishRight() {
+	m.right.finish()
+	m.advance()
+}
+
+// canPop reports whether the head ready group of side s is safe to match:
+// no smaller-or-equal key can still arrive on the other side... it is safe
+// when the other side has a ready group to compare against, or is done.
+func (m *MergeJoin) advance() {
+	for {
+		lHas, rHas := len(m.left.ready) > 0, len(m.right.ready) > 0
+		switch {
+		case lHas && rHas:
+			lg, rg := &m.left.ready[0], &m.right.ready[0]
+			m.ctx.Clock.Charge(m.ctx.Cost.Compare)
+			c := cmpVals(lg.key, rg.key)
+			switch {
+			case c == 0:
+				for _, lt := range lg.rows {
+					for _, rt := range rg.rows {
+						m.ctx.Clock.Charge(m.ctx.Cost.Move)
+						m.counters.Out++
+						m.out.Push(lt.Concat(rt))
+					}
+				}
+				m.left.ready = m.left.ready[1:]
+				m.right.ready = m.right.ready[1:]
+			case c < 0:
+				m.left.ready = m.left.ready[1:]
+			default:
+				m.right.ready = m.right.ready[1:]
+			}
+		case lHas && m.right.done:
+			// Right exhausted: remaining left groups can never match.
+			m.left.ready = nil
+		case rHas && m.left.done:
+			m.right.ready = nil
+		default:
+			return
+		}
+	}
+}

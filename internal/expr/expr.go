@@ -1,0 +1,385 @@
+// Package expr provides scalar expressions and predicates over tuples:
+// column references, constants, arithmetic, comparisons, and boolean
+// connectives. Expressions are built symbolically against column names and
+// bound to a concrete schema before evaluation, so the same logical
+// predicate can be evaluated against the differently-ordered physical
+// layouts produced by different ADP plans (paper §3.2).
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tukwila/adp/internal/types"
+)
+
+// Expr is a scalar expression. Bind resolves column names against a schema
+// and returns an evaluator; binding fails if a referenced column is absent.
+type Expr interface {
+	// Bind resolves the expression against schema.
+	Bind(schema *types.Schema) (Evaluator, error)
+	// Columns appends the column names referenced by the expression.
+	Columns(dst []string) []string
+	// String renders the expression for plan display and canonical keys.
+	String() string
+}
+
+// Evaluator computes a bound expression over a tuple.
+type Evaluator func(t types.Tuple) types.Value
+
+// Col references a column by (possibly qualified) name.
+type Col struct{ Name string }
+
+// Column constructs a column reference.
+func Column(name string) Col { return Col{Name: name} }
+
+// Bind implements Expr.
+func (c Col) Bind(schema *types.Schema) (Evaluator, error) {
+	i := schema.IndexOf(c.Name)
+	if i < 0 {
+		return nil, fmt.Errorf("expr: unknown column %q in %v", c.Name, schema.Names())
+	}
+	return func(t types.Tuple) types.Value { return t[i] }, nil
+}
+
+// Columns implements Expr.
+func (c Col) Columns(dst []string) []string { return append(dst, c.Name) }
+
+func (c Col) String() string { return c.Name }
+
+// Const is a literal value.
+type Const struct{ V types.Value }
+
+// Lit constructs a constant expression.
+func Lit(v types.Value) Const { return Const{V: v} }
+
+// IntLit and friends are convenience literal constructors.
+func IntLit(v int64) Const { return Const{V: types.Int(v)} }
+
+// FloatLit constructs a float constant.
+func FloatLit(v float64) Const { return Const{V: types.Float(v)} }
+
+// StrLit constructs a string constant.
+func StrLit(v string) Const { return Const{V: types.Str(v)} }
+
+// Bind implements Expr.
+func (c Const) Bind(*types.Schema) (Evaluator, error) {
+	v := c.V
+	return func(types.Tuple) types.Value { return v }, nil
+}
+
+// Columns implements Expr.
+func (c Const) Columns(dst []string) []string { return dst }
+
+func (c Const) String() string {
+	if c.V.K == types.KindString {
+		return "'" + c.V.S + "'"
+	}
+	return c.V.String()
+}
+
+// ArithOp enumerates binary arithmetic operators.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+)
+
+func (op ArithOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	default:
+		return "/"
+	}
+}
+
+// Arith is a binary arithmetic expression computed in float64; the TPC-H
+// workload expressions (extendedprice * (1 - discount)) are decimal.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// Add, Sub, Mul, Div build arithmetic expressions.
+func Add(l, r Expr) Arith { return Arith{OpAdd, l, r} }
+
+// Sub builds l - r.
+func Sub(l, r Expr) Arith { return Arith{OpSub, l, r} }
+
+// Mul builds l * r.
+func Mul(l, r Expr) Arith { return Arith{OpMul, l, r} }
+
+// Div builds l / r.
+func Div(l, r Expr) Arith { return Arith{OpDiv, l, r} }
+
+// Bind implements Expr.
+func (a Arith) Bind(schema *types.Schema) (Evaluator, error) {
+	l, err := a.L.Bind(schema)
+	if err != nil {
+		return nil, err
+	}
+	r, err := a.R.Bind(schema)
+	if err != nil {
+		return nil, err
+	}
+	op := a.Op
+	return func(t types.Tuple) types.Value {
+		lv, rv := l(t), r(t)
+		if lv.IsNull() || rv.IsNull() {
+			return types.Null()
+		}
+		x, y := lv.AsFloat(), rv.AsFloat()
+		switch op {
+		case OpAdd:
+			return types.Float(x + y)
+		case OpSub:
+			return types.Float(x - y)
+		case OpMul:
+			return types.Float(x * y)
+		default:
+			if y == 0 {
+				return types.Null()
+			}
+			return types.Float(x / y)
+		}
+	}, nil
+}
+
+// Columns implements Expr.
+func (a Arith) Columns(dst []string) []string {
+	return a.R.Columns(a.L.Columns(dst))
+}
+
+func (a Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R)
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	default:
+		return ">="
+	}
+}
+
+// Predicate is a boolean expression over tuples.
+type Predicate interface {
+	// BindPred resolves the predicate against a schema.
+	BindPred(schema *types.Schema) (PredEval, error)
+	// Columns appends referenced column names.
+	Columns(dst []string) []string
+	// String renders the predicate.
+	String() string
+}
+
+// PredEval evaluates a bound predicate.
+type PredEval func(t types.Tuple) bool
+
+// Cmp compares two scalar expressions. NULL comparisons are false (SQL
+// three-valued logic collapsed to filter semantics).
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Eq and friends build comparison predicates.
+func Eq(l, r Expr) Cmp { return Cmp{OpEq, l, r} }
+
+// Ne builds l <> r.
+func Ne(l, r Expr) Cmp { return Cmp{OpNe, l, r} }
+
+// Lt builds l < r.
+func Lt(l, r Expr) Cmp { return Cmp{OpLt, l, r} }
+
+// Le builds l <= r.
+func Le(l, r Expr) Cmp { return Cmp{OpLe, l, r} }
+
+// Gt builds l > r.
+func Gt(l, r Expr) Cmp { return Cmp{OpGt, l, r} }
+
+// Ge builds l >= r.
+func Ge(l, r Expr) Cmp { return Cmp{OpGe, l, r} }
+
+// BindPred implements Predicate.
+func (c Cmp) BindPred(schema *types.Schema) (PredEval, error) {
+	l, err := c.L.Bind(schema)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.R.Bind(schema)
+	if err != nil {
+		return nil, err
+	}
+	op := c.Op
+	return func(t types.Tuple) bool {
+		lv, rv := l(t), r(t)
+		if lv.IsNull() || rv.IsNull() {
+			return false
+		}
+		cmp := types.Compare(lv, rv)
+		switch op {
+		case OpEq:
+			return cmp == 0
+		case OpNe:
+			return cmp != 0
+		case OpLt:
+			return cmp < 0
+		case OpLe:
+			return cmp <= 0
+		case OpGt:
+			return cmp > 0
+		default:
+			return cmp >= 0
+		}
+	}, nil
+}
+
+// Columns implements Predicate.
+func (c Cmp) Columns(dst []string) []string {
+	return c.R.Columns(c.L.Columns(dst))
+}
+
+func (c Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+}
+
+// And is the conjunction of predicates; an empty And is TRUE.
+type And []Predicate
+
+// AndOf builds a conjunction.
+func AndOf(ps ...Predicate) And { return And(ps) }
+
+// BindPred implements Predicate.
+func (a And) BindPred(schema *types.Schema) (PredEval, error) {
+	evals := make([]PredEval, len(a))
+	for i, p := range a {
+		e, err := p.BindPred(schema)
+		if err != nil {
+			return nil, err
+		}
+		evals[i] = e
+	}
+	return func(t types.Tuple) bool {
+		for _, e := range evals {
+			if !e(t) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+// Columns implements Predicate.
+func (a And) Columns(dst []string) []string {
+	for _, p := range a {
+		dst = p.Columns(dst)
+	}
+	return dst
+}
+
+func (a And) String() string {
+	if len(a) == 0 {
+		return "TRUE"
+	}
+	parts := make([]string, len(a))
+	for i, p := range a {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// Or is the disjunction of predicates; an empty Or is FALSE.
+type Or []Predicate
+
+// OrOf builds a disjunction.
+func OrOf(ps ...Predicate) Or { return Or(ps) }
+
+// BindPred implements Predicate.
+func (o Or) BindPred(schema *types.Schema) (PredEval, error) {
+	evals := make([]PredEval, len(o))
+	for i, p := range o {
+		e, err := p.BindPred(schema)
+		if err != nil {
+			return nil, err
+		}
+		evals[i] = e
+	}
+	return func(t types.Tuple) bool {
+		for _, e := range evals {
+			if e(t) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+
+// Columns implements Predicate.
+func (o Or) Columns(dst []string) []string {
+	for _, p := range o {
+		dst = p.Columns(dst)
+	}
+	return dst
+}
+
+func (o Or) String() string {
+	if len(o) == 0 {
+		return "FALSE"
+	}
+	parts := make([]string, len(o))
+	for i, p := range o {
+		parts[i] = "(" + p.String() + ")"
+	}
+	return strings.Join(parts, " OR ")
+}
+
+// Not negates a predicate.
+type Not struct{ P Predicate }
+
+// NotOf builds a negation.
+func NotOf(p Predicate) Not { return Not{P: p} }
+
+// BindPred implements Predicate.
+func (n Not) BindPred(schema *types.Schema) (PredEval, error) {
+	e, err := n.P.BindPred(schema)
+	if err != nil {
+		return nil, err
+	}
+	return func(t types.Tuple) bool { return !e(t) }, nil
+}
+
+// Columns implements Predicate.
+func (n Not) Columns(dst []string) []string { return n.P.Columns(dst) }
+
+func (n Not) String() string { return "NOT (" + n.P.String() + ")" }

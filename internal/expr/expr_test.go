@@ -1,0 +1,229 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/tukwila/adp/internal/types"
+)
+
+var schema = types.NewSchema(
+	types.Column{Name: "r.a", Kind: types.KindInt},
+	types.Column{Name: "r.b", Kind: types.KindFloat},
+	types.Column{Name: "r.s", Kind: types.KindString},
+)
+
+func row(a int64, b float64, s string) types.Tuple {
+	return types.Tuple{types.Int(a), types.Float(b), types.Str(s)}
+}
+
+func mustBind(t *testing.T, e Expr) Evaluator {
+	t.Helper()
+	ev, err := e.Bind(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func mustBindPred(t *testing.T, p Predicate) PredEval {
+	t.Helper()
+	ev, err := p.BindPred(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func TestColumnBindAndEval(t *testing.T) {
+	ev := mustBind(t, Column("r.a"))
+	if got := ev(row(7, 0, "")); got.AsInt() != 7 {
+		t.Errorf("column eval = %v, want 7", got)
+	}
+	// Unqualified lookup.
+	ev2 := mustBind(t, Column("s"))
+	if got := ev2(row(0, 0, "hi")); got.S != "hi" {
+		t.Errorf("unqualified column eval = %v", got)
+	}
+}
+
+func TestColumnBindMissing(t *testing.T) {
+	if _, err := Column("zzz").Bind(schema); err == nil {
+		t.Error("expected bind error for missing column")
+	}
+}
+
+func TestConstEval(t *testing.T) {
+	ev := mustBind(t, IntLit(42))
+	if got := ev(row(0, 0, "")); got.AsInt() != 42 {
+		t.Errorf("const eval = %v", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	// extendedprice * (1 - discount), the TPC-H revenue expression.
+	rev := Mul(Column("r.b"), Sub(FloatLit(1), FloatLit(0.1)))
+	ev := mustBind(t, rev)
+	if got := ev(row(0, 100, "")); got.AsFloat() != 90 {
+		t.Errorf("revenue = %v, want 90", got)
+	}
+	cases := []struct {
+		e    Expr
+		want float64
+	}{
+		{Add(IntLit(2), IntLit(3)), 5},
+		{Sub(IntLit(2), IntLit(3)), -1},
+		{Mul(IntLit(2), IntLit(3)), 6},
+		{Div(IntLit(6), IntLit(3)), 2},
+	}
+	for _, c := range cases {
+		if got := mustBind(t, c.e)(row(0, 0, "")); got.AsFloat() != c.want {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestArithmeticNullAndDivZero(t *testing.T) {
+	if got := mustBind(t, Div(IntLit(1), IntLit(0)))(row(0, 0, "")); !got.IsNull() {
+		t.Errorf("div by zero = %v, want NULL", got)
+	}
+	if got := mustBind(t, Add(Lit(types.Null()), IntLit(1)))(row(0, 0, "")); !got.IsNull() {
+		t.Errorf("null + 1 = %v, want NULL", got)
+	}
+}
+
+func TestArithBindErrorPropagates(t *testing.T) {
+	if _, err := Add(Column("zzz"), IntLit(1)).Bind(schema); err == nil {
+		t.Error("expected left bind error")
+	}
+	if _, err := Add(IntLit(1), Column("zzz")).Bind(schema); err == nil {
+		t.Error("expected right bind error")
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	r := row(5, 2.5, "m")
+	cases := []struct {
+		p    Predicate
+		want bool
+	}{
+		{Eq(Column("r.a"), IntLit(5)), true},
+		{Ne(Column("r.a"), IntLit(5)), false},
+		{Lt(Column("r.a"), IntLit(6)), true},
+		{Le(Column("r.a"), IntLit(5)), true},
+		{Gt(Column("r.a"), IntLit(5)), false},
+		{Ge(Column("r.a"), IntLit(5)), true},
+		{Eq(Column("r.s"), StrLit("m")), true},
+		{Lt(Column("r.s"), StrLit("z")), true},
+	}
+	for _, c := range cases {
+		if got := mustBindPred(t, c.p)(r); got != c.want {
+			t.Errorf("%s = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNullComparisonIsFalse(t *testing.T) {
+	p := mustBindPred(t, Eq(Lit(types.Null()), Lit(types.Null())))
+	if p(row(0, 0, "")) {
+		t.Error("NULL = NULL should be false under filter semantics")
+	}
+}
+
+func TestBooleanConnectives(t *testing.T) {
+	r := row(5, 2.5, "m")
+	tru := Eq(IntLit(1), IntLit(1))
+	fls := Eq(IntLit(1), IntLit(2))
+	if !mustBindPred(t, AndOf(tru, tru))(r) || mustBindPred(t, AndOf(tru, fls))(r) {
+		t.Error("And wrong")
+	}
+	if !mustBindPred(t, AndOf())(r) {
+		t.Error("empty And should be TRUE")
+	}
+	if !mustBindPred(t, OrOf(fls, tru))(r) || mustBindPred(t, OrOf(fls, fls))(r) {
+		t.Error("Or wrong")
+	}
+	if mustBindPred(t, OrOf())(r) {
+		t.Error("empty Or should be FALSE")
+	}
+	if mustBindPred(t, NotOf(tru))(r) || !mustBindPred(t, NotOf(fls))(r) {
+		t.Error("Not wrong")
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	// NOT(a AND b) == NOT a OR NOT b over random int comparisons.
+	f := func(x, y, a, b int64) bool {
+		r := types.Tuple{types.Int(x), types.Int(y)}
+		s := types.NewSchema(
+			types.Column{Name: "t.x", Kind: types.KindInt},
+			types.Column{Name: "t.y", Kind: types.KindInt},
+		)
+		pa := Lt(Column("t.x"), IntLit(a))
+		pb := Lt(Column("t.y"), IntLit(b))
+		lhs, err1 := NotOf(AndOf(pa, pb)).BindPred(s)
+		rhs, err2 := OrOf(NotOf(pa), NotOf(pb)).BindPred(s)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return lhs(r) == rhs(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColumnsCollection(t *testing.T) {
+	p := AndOf(
+		Eq(Column("r.a"), IntLit(1)),
+		Lt(Mul(Column("r.b"), Column("r.a")), FloatLit(10)),
+	)
+	cols := p.Columns(nil)
+	want := map[string]int{"r.a": 2, "r.b": 1}
+	got := map[string]int{}
+	for _, c := range cols {
+		got[c]++
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("Columns: %s appears %d times, want %d", k, got[k], n)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := AndOf(
+		Eq(Column("r.a"), IntLit(1)),
+		OrOf(Lt(Column("r.b"), FloatLit(2)), NotOf(Eq(Column("r.s"), StrLit("x")))),
+	)
+	got := p.String()
+	want := "r.a = 1 AND (r.b < 2) OR (NOT (r.s = 'x'))"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if AndOf().String() != "TRUE" || OrOf().String() != "FALSE" {
+		t.Error("empty connective rendering wrong")
+	}
+	if got := Div(IntLit(4), IntLit(2)).String(); got != "(4 / 2)" {
+		t.Errorf("arith String() = %q", got)
+	}
+	if got := Ne(Column("r.a"), IntLit(3)).String(); got != "r.a <> 3" {
+		t.Errorf("cmp String() = %q", got)
+	}
+}
+
+func TestPredicateBindErrors(t *testing.T) {
+	bad := Column("zzz")
+	preds := []Predicate{
+		Eq(bad, IntLit(1)),
+		Eq(IntLit(1), bad),
+		AndOf(Eq(bad, IntLit(1))),
+		OrOf(Eq(bad, IntLit(1))),
+		NotOf(Eq(bad, IntLit(1))),
+	}
+	for _, p := range preds {
+		if _, err := p.BindPred(schema); err == nil {
+			t.Errorf("expected bind error for %s", p)
+		}
+	}
+}

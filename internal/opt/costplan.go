@@ -1,0 +1,62 @@
+package opt
+
+import (
+	"math"
+
+	"github.com/tukwila/adp/internal/algebra"
+	"github.com/tukwila/adp/internal/exec"
+)
+
+// CostPlan estimates the cost and output cardinality of a GIVEN plan tree
+// under the same model Optimize uses. The corrective monitor uses it to
+// price the currently executing plan over the remaining source data and
+// compare it against the re-optimizer's best alternative (§4.1: interrupt
+// only when a substantially better plan exists).
+func CostPlan(in Inputs, root algebra.Plan) (cost, card float64) {
+	e := newEstimator(in)
+	cm := in.Cost
+	if cm == nil {
+		cm = exec.DefaultCosts()
+	}
+	var walk func(p algebra.Plan) (cost, card float64, mask uint)
+	walk = func(p algebra.Plan) (float64, float64, uint) {
+		switch v := p.(type) {
+		case *algebra.ScanPlan:
+			name := v.Rel.Name
+			idx, ok := e.nameIdx[name]
+			var mask uint
+			if ok {
+				mask = 1 << uint(idx)
+			}
+			return math.Max(e.rawCard[name], 1) * cm.Move, e.baseCard[name], mask
+		case *algebra.JoinPlan:
+			lc, lcard, lm := walk(v.Left)
+			rc, rcard, rm := walk(v.Right)
+			mask := lm | rm
+			card := e.cardOf(mask, lcard, rcard, v.Preds)
+			jc := (lcard+rcard)*(cm.HashInsert+cm.HashProbe) + card*cm.Move
+			total := lc + rc + jc
+			if credit, ok := in.Credit[e.setKey(mask)]; ok {
+				total = math.Max(total-credit, lc+rc)
+			}
+			return total, card, mask
+		case *algebra.GroupPlan:
+			c, card, mask := walk(v.Input)
+			c += card * cm.AggUpdate
+			if v.Partial {
+				// Partial groups reduce downstream cardinality by the
+				// same factor the optimizer estimated; without a better
+				// signal assume no reduction (conservative).
+				return c, card, mask
+			}
+			return c, card, mask
+		case *algebra.ProjectPlan:
+			c, card, mask := walk(v.Input)
+			return c + card*cm.Move, card, mask
+		default:
+			return 0, 0, 0
+		}
+	}
+	cost, card, _ = walk(root)
+	return cost, card
+}

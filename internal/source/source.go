@@ -1,0 +1,230 @@
+// Package source models autonomous data-integration sources (paper §3.5):
+// relations whose access is sequential-only, delivered over a network whose
+// bandwidth and burstiness we simulate with deterministic virtual-time
+// arrival schedules. This substitutes for the paper's remote/802.11b
+// testbed: every tuple carries an availability timestamp, pipelined
+// operators interleave inputs by availability, and a query's response time
+// is the virtual completion time — reproducing the delay-masking behaviour
+// the paper measures in Figure 3 without real network hardware.
+package source
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/tukwila/adp/internal/types"
+)
+
+// Relation is an in-memory named table. Sources in data integration "may
+// change between successive accesses"; the engine therefore never assumes
+// it can rescan a Relation — all access is through one-pass Streams.
+type Relation struct {
+	Name   string
+	Schema *types.Schema
+	Rows   []types.Tuple
+}
+
+// NewRelation builds a relation.
+func NewRelation(name string, schema *types.Schema, rows []types.Tuple) *Relation {
+	return &Relation{Name: name, Schema: schema, Rows: rows}
+}
+
+// Len returns the cardinality.
+func (r *Relation) Len() int { return len(r.Rows) }
+
+// Clone deep-copies row structure (values shared).
+func (r *Relation) Clone() *Relation {
+	rows := make([]types.Tuple, len(r.Rows))
+	for i, t := range r.Rows {
+		rows[i] = t.Clone()
+	}
+	return &Relation{Name: r.Name, Schema: r.Schema, Rows: rows}
+}
+
+// String describes the relation.
+func (r *Relation) String() string {
+	return fmt.Sprintf("%s%v[%d rows]", r.Name, r.Schema.Names(), len(r.Rows))
+}
+
+// Row is one delivered tuple with its virtual availability time in
+// seconds.
+type Row struct {
+	T  types.Tuple
+	At float64
+}
+
+// Stream is one-pass sequential access to a source, mirroring the paper's
+// constraint: "we limit access to the input relations to be sequential
+// only".
+type Stream interface {
+	// Name identifies the underlying source.
+	Name() string
+	// Schema is the tuple layout.
+	Schema() *types.Schema
+	// Next returns the next row; ok=false at end of stream.
+	Next() (row Row, ok bool)
+}
+
+// Schedule assigns an arrival time (virtual seconds) to the i-th tuple of
+// a stream.
+type Schedule interface {
+	ArrivalAt(i int) float64
+}
+
+// Immediate is a schedule for local data: everything available at t=0.
+type Immediate struct{}
+
+// ArrivalAt implements Schedule.
+func (Immediate) ArrivalAt(int) float64 { return 0 }
+
+// Bandwidth delivers tuples at a constant rate (tuples/second) after an
+// initial latency.
+type Bandwidth struct {
+	TuplesPerSec float64
+	Latency      float64
+}
+
+// ArrivalAt implements Schedule.
+func (b Bandwidth) ArrivalAt(i int) float64 {
+	if b.TuplesPerSec <= 0 {
+		return b.Latency
+	}
+	return b.Latency + float64(i+1)/b.TuplesPerSec
+}
+
+// Bursty models the paper's 802.11b wireless link: limited bandwidth with
+// alternating transmission bursts and stalls ("known to be highly
+// bursty"). Burst/gap lengths are drawn deterministically from Seed so
+// experiments are reproducible.
+type Bursty struct {
+	TuplesPerSec float64 // bandwidth during a burst
+	BurstTuples  int     // mean tuples delivered per burst
+	GapSeconds   float64 // mean stall between bursts
+	Seed         int64
+
+	arrivals []float64
+}
+
+// NewBursty precomputes an arrival schedule for up to n tuples.
+func NewBursty(n int, tuplesPerSec float64, burstTuples int, gapSeconds float64, seed int64) *Bursty {
+	b := &Bursty{TuplesPerSec: tuplesPerSec, BurstTuples: burstTuples, GapSeconds: gapSeconds, Seed: seed}
+	rng := rand.New(rand.NewSource(seed))
+	arr := make([]float64, n)
+	t := 0.0
+	i := 0
+	for i < n {
+		// Burst length: exponential-ish around BurstTuples.
+		blen := 1 + rng.Intn(2*burstTuples)
+		for j := 0; j < blen && i < n; j++ {
+			t += 1 / tuplesPerSec
+			arr[i] = t
+			i++
+		}
+		// Stall.
+		t += gapSeconds * rng.ExpFloat64()
+	}
+	b.arrivals = arr
+	return b
+}
+
+// ArrivalAt implements Schedule.
+func (b *Bursty) ArrivalAt(i int) float64 {
+	if i < len(b.arrivals) {
+		return b.arrivals[i]
+	}
+	if len(b.arrivals) == 0 {
+		return 0
+	}
+	return b.arrivals[len(b.arrivals)-1]
+}
+
+// relStream is the canonical Stream over a Relation with a Schedule.
+type relStream struct {
+	rel   *Relation
+	sched Schedule
+	pos   int
+}
+
+// NewStream opens a one-pass stream over rel with arrival schedule sched.
+func NewStream(rel *Relation, sched Schedule) Stream {
+	if sched == nil {
+		sched = Immediate{}
+	}
+	return &relStream{rel: rel, sched: sched}
+}
+
+// Name implements Stream.
+func (s *relStream) Name() string { return s.rel.Name }
+
+// Schema implements Stream.
+func (s *relStream) Schema() *types.Schema { return s.rel.Schema }
+
+// Next implements Stream.
+func (s *relStream) Next() (Row, bool) {
+	if s.pos >= len(s.rel.Rows) {
+		return Row{}, false
+	}
+	r := Row{T: s.rel.Rows[s.pos], At: s.sched.ArrivalAt(s.pos)}
+	s.pos++
+	return r, true
+}
+
+// Provider hands out fresh one-pass streams for a named source; each ADP
+// phase resumes reading where the previous stream stopped, so the provider
+// also supports opening a stream at an offset.
+type Provider struct {
+	rel   *Relation
+	sched Schedule
+	// consumed is the number of tuples already delivered to earlier
+	// phases; a new phase resumes from here.
+	consumed int
+}
+
+// NewProvider wraps a relation and delivery schedule.
+func NewProvider(rel *Relation, sched Schedule) *Provider {
+	if sched == nil {
+		sched = Immediate{}
+	}
+	return &Provider{rel: rel, sched: sched}
+}
+
+// Name returns the source name.
+func (p *Provider) Name() string { return p.rel.Name }
+
+// Schema returns the source schema.
+func (p *Provider) Schema() *types.Schema { return p.rel.Schema }
+
+// Total returns the full cardinality (known only to the simulator; the
+// engine must not peek — it learns cardinality by reading).
+func (p *Provider) Total() int { return len(p.rel.Rows) }
+
+// Consumed reports how many tuples have been handed out.
+func (p *Provider) Consumed() int { return p.consumed }
+
+// Exhausted reports whether all tuples were delivered.
+func (p *Provider) Exhausted() bool { return p.consumed >= len(p.rel.Rows) }
+
+// Next delivers the next tuple across all phases (the "resumes reading
+// the source relations — thus consuming all remaining tuples" behaviour,
+// §2.2). ok=false when the source is exhausted.
+func (p *Provider) Next() (Row, bool) {
+	if p.consumed >= len(p.rel.Rows) {
+		return Row{}, false
+	}
+	r := Row{T: p.rel.Rows[p.consumed], At: p.sched.ArrivalAt(p.consumed)}
+	p.consumed++
+	return r, true
+}
+
+// Reset rewinds the provider (only the test/benchmark harness uses this,
+// to run the same workload under multiple strategies).
+func (p *Provider) Reset() { p.consumed = 0 }
+
+// PeekArrival returns the availability time of the next undelivered tuple
+// (used by availability-ordered interleaving); ok=false when exhausted.
+func (p *Provider) PeekArrival() (float64, bool) {
+	if p.consumed >= len(p.rel.Rows) {
+		return 0, false
+	}
+	return p.sched.ArrivalAt(p.consumed), true
+}

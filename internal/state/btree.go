@@ -1,0 +1,243 @@
+package state
+
+import (
+	"github.com/tukwila/adp/internal/types"
+)
+
+// btreeOrder is the fan-out of B+ tree nodes.
+const btreeOrder = 32
+
+// BPlusTree is a B+ tree state structure keyed on a column subset,
+// supporting key probes, ordered scans, and range scans. Duplicate keys
+// are allowed (each leaf entry carries one tuple).
+type BPlusTree struct {
+	schema  *types.Schema
+	keyCols []int
+	root    *btNode
+	n       int
+	// first leaf for ordered scans
+	firstLeaf *btNode
+}
+
+type btNode struct {
+	leaf     bool
+	keys     [][]types.Value
+	children []*btNode     // internal only; len = len(keys)+1
+	rows     []types.Tuple // leaf only; parallel to keys
+	next     *btNode       // leaf chain
+}
+
+// NewBPlusTree creates an empty tree keyed on keyCols.
+func NewBPlusTree(schema *types.Schema, keyCols []int) *BPlusTree {
+	leaf := &btNode{leaf: true}
+	return &BPlusTree{schema: schema, keyCols: keyCols, root: leaf, firstLeaf: leaf}
+}
+
+func cmpKeys(a, b []types.Value) int {
+	for i := range a {
+		if c := types.Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func (t *BPlusTree) keyOf(row types.Tuple) []types.Value {
+	k := make([]types.Value, len(t.keyCols))
+	for i, c := range t.keyCols {
+		k[i] = row[c]
+	}
+	return k
+}
+
+// Insert implements Structure.
+func (t *BPlusTree) Insert(row types.Tuple) {
+	k := t.keyOf(row)
+	newKey, newNode := t.insertInto(t.root, k, row)
+	if newNode != nil {
+		root := &btNode{
+			keys:     [][]types.Value{newKey},
+			children: []*btNode{t.root, newNode},
+		}
+		t.root = root
+	}
+	t.n++
+}
+
+// insertInto inserts (k, row) under node; on split it returns the
+// separator key and the new right sibling.
+func (t *BPlusTree) insertInto(node *btNode, k []types.Value, row types.Tuple) ([]types.Value, *btNode) {
+	if node.leaf {
+		// Find insertion point (upper bound keeps duplicates stable).
+		i := upperBound(node.keys, k)
+		node.keys = insertKey(node.keys, i, k)
+		node.rows = insertRow(node.rows, i, row)
+		if len(node.keys) <= btreeOrder {
+			return nil, nil
+		}
+		// Split leaf.
+		mid := len(node.keys) / 2
+		right := &btNode{
+			leaf: true,
+			keys: append([][]types.Value{}, node.keys[mid:]...),
+			rows: append([]types.Tuple{}, node.rows[mid:]...),
+			next: node.next,
+		}
+		node.keys = node.keys[:mid]
+		node.rows = node.rows[:mid]
+		node.next = right
+		return right.keys[0], right
+	}
+	// Internal: route to child.
+	i := upperBound(node.keys, k)
+	sepKey, newChild := t.insertInto(node.children[i], k, row)
+	if newChild == nil {
+		return nil, nil
+	}
+	node.keys = insertKey(node.keys, i, sepKey)
+	node.children = insertChild(node.children, i+1, newChild)
+	if len(node.keys) <= btreeOrder {
+		return nil, nil
+	}
+	// Split internal node: middle key moves up.
+	mid := len(node.keys) / 2
+	upKey := node.keys[mid]
+	right := &btNode{
+		keys:     append([][]types.Value{}, node.keys[mid+1:]...),
+		children: append([]*btNode{}, node.children[mid+1:]...),
+	}
+	node.keys = node.keys[:mid]
+	node.children = node.children[:mid+1]
+	return upKey, right
+}
+
+func upperBound(keys [][]types.Value, k []types.Value) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cmpKeys(keys[mid], k) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func lowerBound(keys [][]types.Value, k []types.Value) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cmpKeys(keys[mid], k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func insertKey(s [][]types.Value, i int, k []types.Value) [][]types.Value {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = k
+	return s
+}
+
+func insertRow(s []types.Tuple, i int, r types.Tuple) []types.Tuple {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = r
+	return s
+}
+
+func insertChild(s []*btNode, i int, c *btNode) []*btNode {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = c
+	return s
+}
+
+// Len implements Structure.
+func (t *BPlusTree) Len() int { return t.n }
+
+// Scan implements Structure (key order via the leaf chain).
+func (t *BPlusTree) Scan(fn func(types.Tuple) bool) {
+	for leaf := t.firstLeaf; leaf != nil; leaf = leaf.next {
+		for _, r := range leaf.rows {
+			if !fn(r) {
+				return
+			}
+		}
+	}
+}
+
+// Properties implements Structure.
+func (t *BPlusTree) Properties() Properties {
+	return Properties{KeyAccess: true, Sorted: true, SupportsRange: true}
+}
+
+// Schema implements Structure.
+func (t *BPlusTree) Schema() *types.Schema { return t.schema }
+
+// KeyCols implements Keyed.
+func (t *BPlusTree) KeyCols() []int { return t.keyCols }
+
+// findLeaf descends to the first leaf that may contain k.
+func (t *BPlusTree) findLeaf(k []types.Value) *btNode {
+	node := t.root
+	for !node.leaf {
+		node = node.children[lowerBound(node.keys, k)]
+	}
+	return node
+}
+
+// Probe implements Keyed.
+func (t *BPlusTree) Probe(key []types.Value, fn func(types.Tuple) bool) {
+	for leaf := t.findLeaf(key); leaf != nil; leaf = leaf.next {
+		i := lowerBound(leaf.keys, key)
+		if i == len(leaf.keys) {
+			// Key could continue in the next leaf only if this leaf's last
+			// key equals key, which lowerBound excludes; check the next
+			// leaf's first key before giving up.
+			if leaf.next != nil && len(leaf.next.keys) > 0 && cmpKeys(leaf.next.keys[0], key) == 0 {
+				continue
+			}
+			return
+		}
+		for ; i < len(leaf.keys); i++ {
+			c := cmpKeys(leaf.keys[i], key)
+			if c > 0 {
+				return
+			}
+			if c == 0 && !fn(leaf.rows[i]) {
+				return
+			}
+		}
+		// Duplicates may spill into the next leaf.
+	}
+}
+
+// ScanRange visits tuples with key in [lo, hi] inclusive, in key order.
+func (t *BPlusTree) ScanRange(lo, hi []types.Value, fn func(types.Tuple) bool) {
+	for leaf := t.findLeaf(lo); leaf != nil; leaf = leaf.next {
+		i := lowerBound(leaf.keys, lo)
+		for ; i < len(leaf.keys); i++ {
+			if cmpKeys(leaf.keys[i], hi) > 0 {
+				return
+			}
+			if !fn(leaf.rows[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Depth returns the tree height (diagnostics / invariant tests).
+func (t *BPlusTree) Depth() int {
+	d := 1
+	for node := t.root; !node.leaf; node = node.children[0] {
+		d++
+	}
+	return d
+}

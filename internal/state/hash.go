@@ -1,0 +1,301 @@
+package state
+
+import (
+	"sort"
+
+	"github.com/tukwila/adp/internal/types"
+)
+
+// defaultBuckets is the initial bucket count for hash structures. Buckets
+// in Tukwila "cannot be dynamically adjusted, meaning that an overly large
+// relation will still suffer from many bucket collisions" (§4.4) — we
+// reproduce that behaviour when Fixed is set, and grow otherwise.
+const defaultBuckets = 1024
+
+// HashTable is the workhorse state structure: bucketed chaining hash table
+// keyed on a column subset, used by pipelined and hybrid hash joins and by
+// the hash-based aggregation operators. It supports lazy partition-wise
+// spilling (overflow handling in the style of XJoin / the Tukwila pipelined
+// hash join, §5) by marking partition regions as swapped out; spilled
+// partitions remain probe-able but record simulated I/O.
+type HashTable struct {
+	schema  *types.Schema
+	keyCols []int
+	buckets [][]types.Tuple
+	n       int
+	// Fixed prevents bucket-array growth (reproduces mis-estimated
+	// allocation collisions).
+	Fixed bool
+	// spill bookkeeping: partitions are bucket-index ranges.
+	spilledParts map[int]bool
+	partCount    int
+	// DiskReads counts probes that touched a spilled partition
+	// (simulated I/O for cost accounting).
+	DiskReads int64
+}
+
+// NewHashTable creates a hash table keyed on keyCols over the layout
+// schema.
+func NewHashTable(schema *types.Schema, keyCols []int) *HashTable {
+	return &HashTable{
+		schema:       schema,
+		keyCols:      keyCols,
+		buckets:      make([][]types.Tuple, defaultBuckets),
+		spilledParts: make(map[int]bool),
+		partCount:    16,
+	}
+}
+
+// NewHashTableSized creates a hash table with an explicit bucket count
+// (for the optimizer to size from cardinality estimates).
+func NewHashTableSized(schema *types.Schema, keyCols []int, nbuckets int) *HashTable {
+	if nbuckets < 1 {
+		nbuckets = 1
+	}
+	h := NewHashTable(schema, keyCols)
+	h.buckets = make([][]types.Tuple, ceilPow2(nbuckets))
+	return h
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func (h *HashTable) bucketOf(hash uint64) int {
+	return int(hash & uint64(len(h.buckets)-1))
+}
+
+// Insert implements Structure.
+func (h *HashTable) Insert(t types.Tuple) {
+	if !h.Fixed && h.n >= 4*len(h.buckets) {
+		h.grow()
+	}
+	b := h.bucketOf(t.HashKey(h.keyCols))
+	h.buckets[b] = append(h.buckets[b], t)
+	h.n++
+}
+
+func (h *HashTable) grow() {
+	old := h.buckets
+	h.buckets = make([][]types.Tuple, 2*len(old))
+	for _, chain := range old {
+		for _, t := range chain {
+			b := h.bucketOf(t.HashKey(h.keyCols))
+			h.buckets[b] = append(h.buckets[b], t)
+		}
+	}
+}
+
+// Len implements Structure.
+func (h *HashTable) Len() int { return h.n }
+
+// Buckets returns the bucket count; Len/Buckets is the expected probe
+// chain length the re-optimizer reads as a sizing-health signal (§3.3
+// exposes structure size/cardinality to the decision modules).
+func (h *HashTable) Buckets() int { return len(h.buckets) }
+
+// Scan implements Structure (bucket order; not key-sorted).
+func (h *HashTable) Scan(fn func(types.Tuple) bool) {
+	for bi, chain := range h.buckets {
+		if h.isSpilled(bi) {
+			h.DiskReads++
+		}
+		for _, t := range chain {
+			if !fn(t) {
+				return
+			}
+		}
+	}
+}
+
+// Properties implements Structure.
+func (h *HashTable) Properties() Properties { return Properties{KeyAccess: true} }
+
+// Schema implements Structure.
+func (h *HashTable) Schema() *types.Schema { return h.schema }
+
+// KeyCols implements Keyed.
+func (h *HashTable) KeyCols() []int { return h.keyCols }
+
+// Probe implements Keyed.
+func (h *HashTable) Probe(key []types.Value, fn func(types.Tuple) bool) {
+	probe := types.Tuple(key)
+	idx := make([]int, len(key))
+	for i := range idx {
+		idx[i] = i
+	}
+	bi := h.bucketOf(probe.HashKey(idx))
+	if h.isSpilled(bi) {
+		h.DiskReads++
+	}
+	for _, t := range h.buckets[bi] {
+		if t.KeyEquals(h.keyCols, probe, idx) {
+			if !fn(t) {
+				return
+			}
+		}
+	}
+}
+
+// ChainLen returns the number of tuples in the bucket the key hashes to —
+// the probe's scan work. Under-sized tables (built from under-estimated
+// cardinalities) have long chains: "hash buckets in our system cannot be
+// dynamically adjusted, meaning that an overly large relation will still
+// suffer from many bucket collisions" (§4.4).
+func (h *HashTable) ChainLen(key []types.Value) int {
+	probe := types.Tuple(key)
+	idx := make([]int, len(key))
+	for i := range idx {
+		idx[i] = i
+	}
+	return len(h.buckets[h.bucketOf(probe.HashKey(idx))])
+}
+
+// Rehash builds a new hash table over the same tuples keyed on different
+// columns — the stitch-up join "will rehash one of the structures
+// according to the join key" when key compatibility fails (§3.4.3, §3.2).
+func (h *HashTable) Rehash(newKeyCols []int) *HashTable {
+	out := NewHashTableSized(h.schema, newKeyCols, len(h.buckets))
+	out.Fixed = h.Fixed
+	h.Scan(func(t types.Tuple) bool {
+		out.Insert(t)
+		return true
+	})
+	return out
+}
+
+// --- spill simulation -------------------------------------------------
+
+// partition maps a bucket index to a partition id.
+func (h *HashTable) partition(bucket int) int {
+	return bucket % h.partCount
+}
+
+func (h *HashTable) isSpilled(bucket int) bool {
+	if len(h.spilledParts) == 0 {
+		return false
+	}
+	return h.spilledParts[h.partition(bucket)]
+}
+
+// SpillPartitions marks the given fraction of partitions as swapped to
+// disk ("lazily partitions all four hash tables along the same boundaries
+// and swaps some of these regions to disk", §5). Tables sharing boundaries
+// should be spilled with identical fractions so overflowed regions align.
+func (h *HashTable) SpillPartitions(frac float64) int {
+	n := int(float64(h.partCount) * frac)
+	for p := 0; p < n; p++ {
+		h.spilledParts[p] = true
+	}
+	return n
+}
+
+// SpilledFraction reports the fraction of partitions swapped out; the
+// re-optimizer reads this as the structure's "swapped-to-disk status"
+// (§3.3).
+func (h *HashTable) SpilledFraction() float64 {
+	if h.partCount == 0 {
+		return 0
+	}
+	return float64(len(h.spilledParts)) / float64(h.partCount)
+}
+
+// UnspillAll brings every partition back in memory (stitch-up reads
+// overflowed regions back).
+func (h *HashTable) UnspillAll() {
+	h.spilledParts = make(map[int]bool)
+}
+
+// HashOverSorted is a hash table over key-sorted data: each bucket keeps
+// its chain in key order so probes binary-search within the bucket
+// ("hash over sorted data (which allows us to perform a binary search over
+// hash buckets)", §3.1). It requires key-ordered insertion to be cheap;
+// out-of-order inserts fall back to binary insertion within the bucket.
+type HashOverSorted struct {
+	schema  *types.Schema
+	keyCols []int
+	buckets [][]types.Tuple
+	n       int
+}
+
+// NewHashOverSorted creates the structure.
+func NewHashOverSorted(schema *types.Schema, keyCols []int) *HashOverSorted {
+	return &HashOverSorted{
+		schema:  schema,
+		keyCols: keyCols,
+		buckets: make([][]types.Tuple, defaultBuckets),
+	}
+}
+
+func (h *HashOverSorted) bucketOf(t types.Tuple) int {
+	return int(t.HashKey(h.keyCols) & uint64(len(h.buckets)-1))
+}
+
+// Insert implements Structure, keeping each bucket sorted.
+func (h *HashOverSorted) Insert(t types.Tuple) {
+	bi := h.bucketOf(t)
+	chain := h.buckets[bi]
+	n := len(chain)
+	if n == 0 || types.CompareKey(chain[n-1], h.keyCols, t, h.keyCols) <= 0 {
+		h.buckets[bi] = append(chain, t)
+	} else {
+		i := sort.Search(n, func(i int) bool {
+			return types.CompareKey(chain[i], h.keyCols, t, h.keyCols) > 0
+		})
+		chain = append(chain, nil)
+		copy(chain[i+1:], chain[i:])
+		chain[i] = t
+		h.buckets[bi] = chain
+	}
+	h.n++
+}
+
+// Len implements Structure.
+func (h *HashOverSorted) Len() int { return h.n }
+
+// Scan implements Structure.
+func (h *HashOverSorted) Scan(fn func(types.Tuple) bool) {
+	for _, chain := range h.buckets {
+		for _, t := range chain {
+			if !fn(t) {
+				return
+			}
+		}
+	}
+}
+
+// Properties implements Structure.
+func (h *HashOverSorted) Properties() Properties {
+	return Properties{KeyAccess: true, RequiresSort: true}
+}
+
+// Schema implements Structure.
+func (h *HashOverSorted) Schema() *types.Schema { return h.schema }
+
+// KeyCols implements Keyed.
+func (h *HashOverSorted) KeyCols() []int { return h.keyCols }
+
+// Probe implements Keyed with binary search inside the bucket.
+func (h *HashOverSorted) Probe(key []types.Value, fn func(types.Tuple) bool) {
+	probe := types.Tuple(key)
+	idx := make([]int, len(key))
+	for i := range idx {
+		idx[i] = i
+	}
+	chain := h.buckets[int(probe.HashKey(idx))&(len(h.buckets)-1)]
+	lo := sort.Search(len(chain), func(i int) bool {
+		return types.CompareKey(chain[i], h.keyCols, probe, idx) >= 0
+	})
+	for i := lo; i < len(chain); i++ {
+		if types.CompareKey(chain[i], h.keyCols, probe, idx) != 0 {
+			return
+		}
+		if !fn(chain[i]) {
+			return
+		}
+	}
+}

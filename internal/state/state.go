@@ -1,0 +1,181 @@
+// Package state implements Tukwila's state structures (paper §3.1–3.2):
+// the storage components factored out of join and aggregation operators so
+// that intermediate results can be shared and reused across the multiple
+// plans of an adaptively partitioned query. Tukwila's five structures are
+// all provided — list, sorted list, hash table, hash over sorted data
+// (binary search within buckets), and B+ tree — together with the state
+// structure registry that records (plan ID, expression, cardinality) for
+// stitch-up planning, and a memory manager that simulates paging structures
+// to disk in most-complex-expression-first order.
+package state
+
+import (
+	"sort"
+
+	"github.com/tukwila/adp/internal/types"
+)
+
+// Properties advertises what a structure supports; the optimizer and the
+// stitch-up join consult these instead of depending on concrete types
+// ("they advertise certain properties (e.g., supports key-based access,
+// requires sorted data)", §3.1).
+type Properties struct {
+	KeyAccess     bool // supports key-based probing
+	Sorted        bool // iteration yields key order
+	RequiresSort  bool // input must arrive in key order
+	SupportsRange bool // supports range scans
+}
+
+// Structure is the common interface of all state structures. Tuples are
+// stored in the physical layout of the producing plan; consumers with a
+// different layout read through a types.Adapter.
+type Structure interface {
+	// Insert adds one tuple.
+	Insert(t types.Tuple)
+	// Len returns the number of stored tuples.
+	Len() int
+	// Scan iterates all tuples; return false from fn to stop early.
+	Scan(fn func(t types.Tuple) bool)
+	// Properties reports the structure's advertised capabilities.
+	Properties() Properties
+	// Schema returns the layout of stored tuples.
+	Schema() *types.Schema
+}
+
+// Keyed is a structure supporting key-based access on its build key.
+type Keyed interface {
+	Structure
+	// KeyCols returns the column positions forming the access key.
+	KeyCols() []int
+	// Probe visits all tuples whose key equals the given key values.
+	Probe(key []types.Value, fn func(t types.Tuple) bool)
+}
+
+// List is the simplest structure: an insertion-ordered tuple buffer with
+// no key access (nested-loops inners, combine buffers).
+type List struct {
+	schema *types.Schema
+	rows   []types.Tuple
+}
+
+// NewList creates an empty list over the given layout.
+func NewList(schema *types.Schema) *List { return &List{schema: schema} }
+
+// Insert implements Structure.
+func (l *List) Insert(t types.Tuple) { l.rows = append(l.rows, t) }
+
+// Len implements Structure.
+func (l *List) Len() int { return len(l.rows) }
+
+// Scan implements Structure.
+func (l *List) Scan(fn func(types.Tuple) bool) {
+	for _, t := range l.rows {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Properties implements Structure.
+func (l *List) Properties() Properties { return Properties{} }
+
+// Schema implements Structure.
+func (l *List) Schema() *types.Schema { return l.schema }
+
+// Rows exposes the backing slice (read-only use).
+func (l *List) Rows() []types.Tuple { return l.rows }
+
+// SortedList keeps tuples ordered by a key, supporting binary-search
+// probes and ordered scans. Inserts of already-ordered input are O(1)
+// appends (the common data-integration case of a sorted source); an
+// out-of-order insert falls back to binary insertion.
+type SortedList struct {
+	schema  *types.Schema
+	keyCols []int
+	rows    []types.Tuple
+}
+
+// NewSortedList creates an empty sorted list keyed on keyCols.
+func NewSortedList(schema *types.Schema, keyCols []int) *SortedList {
+	return &SortedList{schema: schema, keyCols: keyCols}
+}
+
+// Insert implements Structure, maintaining order.
+func (s *SortedList) Insert(t types.Tuple) {
+	n := len(s.rows)
+	if n == 0 || types.CompareKey(s.rows[n-1], s.keyCols, t, s.keyCols) <= 0 {
+		s.rows = append(s.rows, t)
+		return
+	}
+	i := sort.Search(n, func(i int) bool {
+		return types.CompareKey(s.rows[i], s.keyCols, t, s.keyCols) > 0
+	})
+	s.rows = append(s.rows, nil)
+	copy(s.rows[i+1:], s.rows[i:])
+	s.rows[i] = t
+}
+
+// Len implements Structure.
+func (s *SortedList) Len() int { return len(s.rows) }
+
+// Scan implements Structure (key order).
+func (s *SortedList) Scan(fn func(types.Tuple) bool) {
+	for _, t := range s.rows {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Properties implements Structure.
+func (s *SortedList) Properties() Properties {
+	return Properties{KeyAccess: true, Sorted: true, SupportsRange: true}
+}
+
+// Schema implements Structure.
+func (s *SortedList) Schema() *types.Schema { return s.schema }
+
+// KeyCols implements Keyed.
+func (s *SortedList) KeyCols() []int { return s.keyCols }
+
+// Probe implements Keyed via binary search.
+func (s *SortedList) Probe(key []types.Value, fn func(types.Tuple) bool) {
+	probe := types.Tuple(key)
+	idx := make([]int, len(key))
+	for i := range idx {
+		idx[i] = i
+	}
+	lo := sort.Search(len(s.rows), func(i int) bool {
+		return types.CompareKey(s.rows[i], s.keyCols, probe, idx) >= 0
+	})
+	for i := lo; i < len(s.rows); i++ {
+		if types.CompareKey(s.rows[i], s.keyCols, probe, idx) != 0 {
+			return
+		}
+		if !fn(s.rows[i]) {
+			return
+		}
+	}
+}
+
+// ScanRange visits tuples with key in [lo, hi] (inclusive), in order.
+func (s *SortedList) ScanRange(lo, hi []types.Value, fn func(types.Tuple) bool) {
+	idx := make([]int, len(lo))
+	for i := range idx {
+		idx[i] = i
+	}
+	start := sort.Search(len(s.rows), func(i int) bool {
+		return types.CompareKey(s.rows[i], s.keyCols, types.Tuple(lo), idx) >= 0
+	})
+	for i := start; i < len(s.rows); i++ {
+		if types.CompareKey(s.rows[i], s.keyCols, types.Tuple(hi), idx) > 0 {
+			return
+		}
+		if !fn(s.rows[i]) {
+			return
+		}
+	}
+}
+
+// Rows exposes the ordered backing slice.
+func (s *SortedList) Rows() []types.Tuple { return s.rows }

@@ -1,0 +1,139 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a schema. Name is the qualified
+// attribute name, conventionally "relation.attr" (for example
+// "orders.o_orderkey"). Intermediate results concatenate the columns of
+// their inputs, so qualified names stay unique through joins.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns. Schemas are immutable once built;
+// operators derive new schemas rather than mutating inputs, mirroring the
+// paper's observation that equivalent subexpressions computed by different
+// plans may lay out the same attributes in different orders (§3.2).
+type Schema struct {
+	Cols []Column
+	// byName caches the index of each column name.
+	byName map[string]int
+}
+
+// NewSchema builds a schema from columns. Duplicate names are permitted
+// (self-joins rename at plan construction time); lookup returns the first.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{Cols: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if _, ok := s.byName[c.Name]; !ok {
+			s.byName[c.Name] = i
+		}
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Cols) }
+
+// IndexOf returns the position of the named column, or -1. It accepts
+// either an exact qualified name or an unqualified suffix ("o_orderkey"
+// matches "orders.o_orderkey") when the suffix is unambiguous.
+func (s *Schema) IndexOf(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	found := -1
+	for i, c := range s.Cols {
+		if suffixMatch(c.Name, name) {
+			if found >= 0 {
+				return -1 // ambiguous
+			}
+			found = i
+		}
+	}
+	return found
+}
+
+func suffixMatch(qualified, name string) bool {
+	if qualified == name {
+		return true
+	}
+	if dot := strings.LastIndexByte(qualified, '.'); dot >= 0 {
+		return qualified[dot+1:] == name
+	}
+	return false
+}
+
+// MustIndexOf is IndexOf that panics on a missing column; used when the
+// plan has already been validated by binding.
+func (s *Schema) MustIndexOf(name string) int {
+	i := s.IndexOf(name)
+	if i < 0 {
+		panic(fmt.Sprintf("types: schema has no column %q (have %v)", name, s.Names()))
+	}
+	return i
+}
+
+// Names returns the qualified column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Concat returns the schema of a join output: the columns of s followed by
+// the columns of other.
+func (s *Schema) Concat(other *Schema) *Schema {
+	cols := make([]Column, 0, len(s.Cols)+len(other.Cols))
+	cols = append(cols, s.Cols...)
+	cols = append(cols, other.Cols...)
+	return NewSchema(cols...)
+}
+
+// Project returns the schema restricted to the named columns, in the given
+// order.
+func (s *Schema) Project(names []string) (*Schema, error) {
+	cols := make([]Column, len(names))
+	for i, n := range names {
+		idx := s.IndexOf(n)
+		if idx < 0 {
+			return nil, fmt.Errorf("types: project: no column %q in schema %v", n, s.Names())
+		}
+		cols[i] = s.Cols[idx]
+	}
+	return NewSchema(cols...), nil
+}
+
+// Equal reports whether two schemas have the same column names and kinds in
+// the same order.
+func (s *Schema) Equal(other *Schema) bool {
+	if len(s.Cols) != len(other.Cols) {
+		return false
+	}
+	for i := range s.Cols {
+		if s.Cols[i] != other.Cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "(a int, b string)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Kind)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package types
+
+import "testing"
+
+func testSchema() *Schema {
+	return NewSchema(
+		Column{"orders.o_orderkey", KindInt},
+		Column{"orders.o_custkey", KindInt},
+		Column{"orders.o_totalprice", KindFloat},
+		Column{"customer.c_custkey", KindInt},
+		Column{"customer.c_name", KindString},
+	)
+}
+
+func TestSchemaIndexOfQualified(t *testing.T) {
+	s := testSchema()
+	if got := s.IndexOf("orders.o_custkey"); got != 1 {
+		t.Errorf("IndexOf qualified = %d, want 1", got)
+	}
+}
+
+func TestSchemaIndexOfUnqualified(t *testing.T) {
+	s := testSchema()
+	if got := s.IndexOf("c_name"); got != 4 {
+		t.Errorf("IndexOf unqualified = %d, want 4", got)
+	}
+	if got := s.IndexOf("missing"); got != -1 {
+		t.Errorf("IndexOf missing = %d, want -1", got)
+	}
+}
+
+func TestSchemaIndexOfAmbiguous(t *testing.T) {
+	s := NewSchema(Column{"a.k", KindInt}, Column{"b.k", KindInt})
+	if got := s.IndexOf("k"); got != -1 {
+		t.Errorf("ambiguous unqualified lookup = %d, want -1", got)
+	}
+	if got := s.IndexOf("a.k"); got != 0 {
+		t.Errorf("qualified lookup = %d, want 0", got)
+	}
+}
+
+func TestSchemaMustIndexOfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIndexOf should panic on missing column")
+		}
+	}()
+	testSchema().MustIndexOf("nope")
+}
+
+func TestSchemaConcat(t *testing.T) {
+	a := NewSchema(Column{"a.x", KindInt})
+	b := NewSchema(Column{"b.y", KindString})
+	c := a.Concat(b)
+	if c.Len() != 2 || c.Cols[0].Name != "a.x" || c.Cols[1].Name != "b.y" {
+		t.Errorf("Concat wrong: %v", c)
+	}
+	// Originals unchanged.
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Error("Concat mutated inputs")
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := testSchema()
+	p, err := s.Project([]string{"c_name", "orders.o_orderkey"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || p.Cols[0].Name != "customer.c_name" || p.Cols[1].Name != "orders.o_orderkey" {
+		t.Errorf("Project wrong: %v", p)
+	}
+	if _, err := s.Project([]string{"zzz"}); err == nil {
+		t.Error("Project of missing column should error")
+	}
+}
+
+func TestSchemaEqualAndString(t *testing.T) {
+	a := NewSchema(Column{"a.x", KindInt})
+	b := NewSchema(Column{"a.x", KindInt})
+	c := NewSchema(Column{"a.x", KindFloat})
+	if !a.Equal(b) {
+		t.Error("identical schemas not Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different kinds reported Equal")
+	}
+	if a.Equal(a.Concat(b)) {
+		t.Error("different lengths reported Equal")
+	}
+	if got := a.String(); got != "(a.x int)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestDuplicateNamesFirstWins(t *testing.T) {
+	s := NewSchema(Column{"x", KindInt}, Column{"x", KindString})
+	if got := s.IndexOf("x"); got != 0 {
+		t.Errorf("duplicate name lookup = %d, want 0", got)
+	}
+}

@@ -1,0 +1,173 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleCloneIndependence(t *testing.T) {
+	a := Tuple{Int(1), Str("x")}
+	b := a.Clone()
+	b[0] = Int(99)
+	if a[0].I != 1 {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestTupleConcat(t *testing.T) {
+	a := Tuple{Int(1)}
+	b := Tuple{Str("x"), Float(2)}
+	c := a.Concat(b)
+	if len(c) != 3 || c[0].I != 1 || c[1].S != "x" || c[2].F != 2 {
+		t.Errorf("Concat wrong: %v", c)
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	if got := (Tuple{Int(1), Str("a")}).String(); got != "[1 a]" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestHashKeyMatchesKeyEquals(t *testing.T) {
+	// Property: tuples that KeyEquals on columns must have identical
+	// HashKey. Exercised with int/float mixes.
+	f := func(a int64) bool {
+		t1 := Tuple{Int(a), Str("pad")}
+		t2 := Tuple{Float(float64(a)), Int(0)}
+		if a != int64(float64(a)) {
+			return true // value not exactly representable; skip
+		}
+		cols1, cols2 := []int{0}, []int{0}
+		if !t1.KeyEquals(cols1, t2, cols2) {
+			return false
+		}
+		return t1.HashKey(cols1) == t2.HashKey(cols2)
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareKeyMultiColumn(t *testing.T) {
+	a := Tuple{Int(1), Str("b")}
+	b := Tuple{Int(1), Str("c")}
+	if got := CompareKey(a, []int{0, 1}, b, []int{0, 1}); got != -1 {
+		t.Errorf("CompareKey = %d, want -1", got)
+	}
+	if got := CompareKey(a, []int{0}, b, []int{0}); got != 0 {
+		t.Errorf("CompareKey single col = %d, want 0", got)
+	}
+	// Cross-position comparison (different key column positions).
+	c := Tuple{Str("b"), Int(1)}
+	if got := CompareKey(a, []int{0, 1}, c, []int{1, 0}); got != 0 {
+		t.Errorf("cross-position CompareKey = %d, want 0", got)
+	}
+}
+
+func TestEncodeKeyDistinguishesKindsAndSeparators(t *testing.T) {
+	a := Tuple{Int(1)}
+	b := Tuple{Str("1")}
+	if EncodeKey(a, []int{0}) == EncodeKey(b, []int{0}) {
+		t.Error("EncodeKey conflates Int(1) and Str(\"1\")")
+	}
+	// Multi-column separator: ("ab","c") vs ("a","bc") must differ.
+	x := Tuple{Str("ab"), Str("c")}
+	y := Tuple{Str("a"), Str("bc")}
+	if EncodeKey(x, []int{0, 1}) == EncodeKey(y, []int{0, 1}) {
+		t.Error("EncodeKey conflates shifted column boundaries")
+	}
+}
+
+func TestAdapterRoundTripProperty(t *testing.T) {
+	from := NewSchema(
+		Column{"r.a", KindInt},
+		Column{"r.b", KindString},
+		Column{"r.c", KindFloat},
+	)
+	to := NewSchema(
+		Column{"r.c", KindFloat},
+		Column{"r.a", KindInt},
+		Column{"r.b", KindString},
+	)
+	fwd, err := NewAdapter(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := NewAdapter(to, from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a int64, b string, c float64) bool {
+		orig := Tuple{Int(a), Str(b), Float(c)}
+		round := back.Adapt(fwd.Adapt(orig))
+		if len(round) != len(orig) {
+			return false
+		}
+		for i := range orig {
+			if Compare(orig[i], round[i]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdapterIdentity(t *testing.T) {
+	s := NewSchema(Column{"r.a", KindInt}, Column{"r.b", KindInt})
+	a, err := NewAdapter(s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsIdentity() {
+		t.Error("same-schema adapter should be identity")
+	}
+	if a.From() != s || a.To() != s {
+		t.Error("endpoint accessors wrong")
+	}
+}
+
+func TestAdapterMissingColumn(t *testing.T) {
+	from := NewSchema(Column{"r.a", KindInt})
+	to := NewSchema(Column{"r.z", KindInt})
+	if _, err := NewAdapter(from, to); err == nil {
+		t.Error("expected error for missing column")
+	}
+}
+
+func TestAdapterNotIdentityWhenPermuted(t *testing.T) {
+	from := NewSchema(Column{"r.a", KindInt}, Column{"r.b", KindInt})
+	to := NewSchema(Column{"r.b", KindInt}, Column{"r.a", KindInt})
+	a, err := NewAdapter(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IsIdentity() {
+		t.Error("permuted adapter reported identity")
+	}
+	got := a.Adapt(Tuple{Int(1), Int(2)})
+	if got[0].I != 2 || got[1].I != 1 {
+		t.Errorf("Adapt wrong: %v", got)
+	}
+}
+
+func TestAdapterSubsetProjection(t *testing.T) {
+	from := NewSchema(Column{"r.a", KindInt}, Column{"r.b", KindInt}, Column{"r.c", KindInt})
+	to := NewSchema(Column{"r.c", KindInt})
+	a, err := NewAdapter(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IsIdentity() {
+		t.Error("projection adapter reported identity")
+	}
+	got := a.Adapt(Tuple{Int(1), Int(2), Int(3)})
+	if len(got) != 1 || got[0].I != 3 {
+		t.Errorf("Adapt projection wrong: %v", got)
+	}
+}

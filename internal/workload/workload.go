@@ -1,0 +1,175 @@
+// Package workload defines the paper's experimental query workload
+// (§3.5, §4.4): the TPC-H queries that fit the select-project-join-
+// aggregation model — Q3 and Q10 with their date predicates removed
+// (queries 3A and 10A), the original Q10, and Q5 — expressed over the
+// datagen schemas. "This left us with a workload with several levels of
+// optimization complexity: a join of 3 relations (query 3A), two joins of
+// 4 relations (queries 10 and 10A), and a join of 5 relations (query 5)."
+package workload
+
+import (
+	"fmt"
+
+	"github.com/tukwila/adp/internal/algebra"
+	"github.com/tukwila/adp/internal/datagen"
+	"github.com/tukwila/adp/internal/expr"
+)
+
+// revenue is the TPC-H revenue expression l_extendedprice * (1 - l_discount).
+func revenue() expr.Expr {
+	return expr.Mul(
+		expr.Column("lineitem.l_extendedprice"),
+		expr.Sub(expr.FloatLit(1), expr.Column("lineitem.l_discount")),
+	)
+}
+
+func ref(name string) algebra.RelRef {
+	switch name {
+	case "region":
+		return algebra.RelRef{Name: name, Schema: datagen.RegionSchema}
+	case "nation":
+		return algebra.RelRef{Name: name, Schema: datagen.NationSchema}
+	case "supplier":
+		return algebra.RelRef{Name: name, Schema: datagen.SupplierSchema}
+	case "customer":
+		return algebra.RelRef{Name: name, Schema: datagen.CustomerSchema}
+	case "orders":
+		return algebra.RelRef{Name: name, Schema: datagen.OrdersSchema}
+	case "lineitem":
+		return algebra.RelRef{Name: name, Schema: datagen.LineitemSchema}
+	default:
+		panic("workload: unknown relation " + name)
+	}
+}
+
+// Q3A is TPC-H Q3 with its date-based selection predicates removed (the
+// paper's more expensive variant): customer ⋈ orders ⋈ lineitem filtered
+// to one market segment, grouped by order.
+func Q3A() *algebra.Query {
+	return &algebra.Query{
+		Name:      "Q3A",
+		Relations: []algebra.RelRef{ref("customer"), ref("orders"), ref("lineitem")},
+		Filters: map[string]expr.Predicate{
+			"customer": expr.Eq(expr.Column("customer.c_mktsegment"), expr.StrLit("BUILDING")),
+		},
+		Joins: []algebra.JoinPred{
+			{LeftRel: "customer", LeftCol: "c_custkey", RightRel: "orders", RightCol: "o_custkey"},
+			{LeftRel: "orders", LeftCol: "o_orderkey", RightRel: "lineitem", RightCol: "l_orderkey"},
+		},
+		GroupBy: []string{"lineitem.l_orderkey", "orders.o_orderdate", "orders.o_shippriority"},
+		Aggs: []algebra.AggSpec{
+			{Kind: algebra.AggSum, Arg: revenue(), As: "revenue"},
+		},
+	}
+}
+
+// Q3 is the original TPC-H Q3 shape with the date predicates.
+func Q3() *algebra.Query {
+	q := Q3A()
+	q.Name = "Q3"
+	q.Filters["orders"] = expr.Lt(expr.Column("orders.o_orderdate"), expr.IntLit(1150))
+	q.Filters["lineitem"] = expr.Gt(expr.Column("lineitem.l_shipdate"), expr.IntLit(1150))
+	return q
+}
+
+// Q10 is TPC-H Q10: returned-item reporting over customer ⋈ orders ⋈
+// lineitem ⋈ nation with a one-quarter date window.
+func Q10() *algebra.Query {
+	return &algebra.Query{
+		Name: "Q10",
+		Relations: []algebra.RelRef{
+			ref("customer"), ref("orders"), ref("lineitem"), ref("nation"),
+		},
+		Filters: map[string]expr.Predicate{
+			"orders": expr.AndOf(
+				expr.Ge(expr.Column("orders.o_orderdate"), expr.IntLit(700)),
+				expr.Lt(expr.Column("orders.o_orderdate"), expr.IntLit(790)),
+			),
+			"lineitem": expr.Eq(expr.Column("lineitem.l_returnflag"), expr.StrLit("R")),
+		},
+		Joins: []algebra.JoinPred{
+			{LeftRel: "customer", LeftCol: "c_custkey", RightRel: "orders", RightCol: "o_custkey"},
+			{LeftRel: "orders", LeftCol: "o_orderkey", RightRel: "lineitem", RightCol: "l_orderkey"},
+			{LeftRel: "customer", LeftCol: "c_nationkey", RightRel: "nation", RightCol: "n_nationkey"},
+		},
+		GroupBy: []string{"customer.c_custkey", "customer.c_name", "customer.c_acctbal", "nation.n_name"},
+		Aggs: []algebra.AggSpec{
+			{Kind: algebra.AggSum, Arg: revenue(), As: "revenue"},
+		},
+	}
+}
+
+// Q10A is Q10 with the date-based selection predicate removed ("we
+// supplemented query 10 with a similar variation ... that removed its
+// date-based selection predicates", §4.4). It joins the entirety of the
+// ORDERS table.
+func Q10A() *algebra.Query {
+	q := Q10()
+	q.Name = "Q10A"
+	delete(q.Filters, "orders")
+	return q
+}
+
+// Q5 is TPC-H Q5: local-supplier volume over six relations with region
+// and date predicates, grouped by nation.
+func Q5() *algebra.Query {
+	return &algebra.Query{
+		Name: "Q5",
+		Relations: []algebra.RelRef{
+			ref("customer"), ref("orders"), ref("lineitem"),
+			ref("supplier"), ref("nation"), ref("region"),
+		},
+		Filters: map[string]expr.Predicate{
+			"region": expr.Eq(expr.Column("region.r_name"), expr.StrLit("ASIA")),
+			"orders": expr.AndOf(
+				expr.Ge(expr.Column("orders.o_orderdate"), expr.IntLit(0)),
+				expr.Lt(expr.Column("orders.o_orderdate"), expr.IntLit(365)),
+			),
+		},
+		Joins: []algebra.JoinPred{
+			{LeftRel: "customer", LeftCol: "c_custkey", RightRel: "orders", RightCol: "o_custkey"},
+			{LeftRel: "orders", LeftCol: "o_orderkey", RightRel: "lineitem", RightCol: "l_orderkey"},
+			{LeftRel: "lineitem", LeftCol: "l_suppkey", RightRel: "supplier", RightCol: "s_suppkey"},
+			{LeftRel: "customer", LeftCol: "c_nationkey", RightRel: "supplier", RightCol: "s_nationkey"},
+			{LeftRel: "supplier", LeftCol: "s_nationkey", RightRel: "nation", RightCol: "n_nationkey"},
+			{LeftRel: "nation", LeftCol: "n_regionkey", RightRel: "region", RightCol: "r_regionkey"},
+		},
+		GroupBy: []string{"nation.n_name"},
+		Aggs: []algebra.AggSpec{
+			{Kind: algebra.AggSum, Arg: revenue(), As: "revenue"},
+		},
+	}
+}
+
+// All returns the experimental workload in paper order.
+func All() []*algebra.Query {
+	return []*algebra.Query{Q3A(), Q10(), Q10A(), Q5()}
+}
+
+// ByName resolves a workload query.
+func ByName(name string) (*algebra.Query, error) {
+	switch name {
+	case "Q3", "q3":
+		return Q3(), nil
+	case "Q3A", "q3a":
+		return Q3A(), nil
+	case "Q10", "q10":
+		return Q10(), nil
+	case "Q10A", "q10a":
+		return Q10A(), nil
+	case "Q5", "q5":
+		return Q5(), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown query %q (have Q3, Q3A, Q10, Q10A, Q5)", name)
+	}
+}
+
+// KnownCards returns the exact cardinalities of a generated dataset, used
+// for the "given cardinalities" experimental configuration.
+func KnownCards(d *datagen.Dataset) map[string]float64 {
+	out := map[string]float64{}
+	for name, rel := range d.Relations() {
+		out[name] = float64(rel.Len())
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tukwila/adp/internal/core"
+	"github.com/tukwila/adp/internal/datagen"
+	"github.com/tukwila/adp/internal/source"
+	"github.com/tukwila/adp/internal/types"
+)
+
+func smallData(t *testing.T, skewed bool) *datagen.Dataset {
+	t.Helper()
+	return datagen.Generate(datagen.Config{ScaleFactor: 0.002, Seed: 42, Skewed: skewed})
+}
+
+func catalog(d *datagen.Dataset) *core.Catalog {
+	return core.NewCatalog(d.Relations(), nil)
+}
+
+func TestQueriesValidate(t *testing.T) {
+	for _, q := range append(All(), Q3()) {
+		if err := q.Validate(); err != nil {
+			t.Errorf("%s: %v", q.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"Q3", "Q3A", "Q10", "Q10A", "Q5", "q5"} {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("ByName(%s): %v", n, err)
+		}
+	}
+	if _, err := ByName("Q99"); err == nil {
+		t.Error("unknown query should error")
+	}
+}
+
+// refQ3A computes Q3A by brute force over the dataset.
+func refQ3A(d *datagen.Dataset) map[string]float64 {
+	building := map[int64]bool{}
+	for _, c := range d.Customer.Rows {
+		if c[3].S == "BUILDING" {
+			building[c[0].I] = true
+		}
+	}
+	orderOK := map[int64][2]int64{} // orderkey -> (date, shippriority)
+	for _, o := range d.Orders.Rows {
+		if building[o[1].I] {
+			orderOK[o[0].I] = [2]int64{o[4].I, o[5].I}
+		}
+	}
+	out := map[string]float64{}
+	for _, l := range d.Lineitem.Rows {
+		meta, ok := orderOK[l[0].I]
+		if !ok {
+			continue
+		}
+		key := types.EncodeKey(types.Tuple{l[0], types.Int(meta[0]), types.Int(meta[1])}, []int{0, 1, 2})
+		out[key] += l[4].F * (1 - l[5].F)
+	}
+	return out
+}
+
+func TestQ3AAllStrategiesMatchReference(t *testing.T) {
+	d := smallData(t, false)
+	want := refQ3A(d)
+	for _, strat := range []core.Strategy{core.Static, core.Corrective, core.PlanPartition} {
+		rep, err := core.Run(catalog(d), Q3A(), core.Options{
+			Strategy: strat, PollEvery: 500, SwitchFactor: 0.9,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if len(rep.Rows) != len(want) {
+			t.Fatalf("%v: %d groups, want %d", strat, len(rep.Rows), len(want))
+		}
+		for _, r := range rep.Rows {
+			key := types.EncodeKey(types.Tuple{r[0], r[1], r[2]}, []int{0, 1, 2})
+			if w, ok := want[key]; !ok || math.Abs(r[3].F-w) > 1e-6*math.Max(1, math.Abs(w)) {
+				t.Fatalf("%v: group %v revenue %v, want %v", strat, key, r[3], w)
+			}
+		}
+	}
+}
+
+// refQ5 computes Q5 revenue per nation by brute force.
+func refQ5(d *datagen.Dataset) map[string]float64 {
+	asia := map[int64]bool{}
+	for _, r := range d.Region.Rows {
+		if r[1].S == "ASIA" {
+			asia[r[0].I] = true
+		}
+	}
+	nationName := map[int64]string{}
+	nationAsia := map[int64]bool{}
+	for _, n := range d.Nation.Rows {
+		nationName[n[0].I] = n[1].S
+		if asia[n[2].I] {
+			nationAsia[n[0].I] = true
+		}
+	}
+	suppNation := map[int64]int64{}
+	for _, s := range d.Supplier.Rows {
+		suppNation[s[0].I] = s[2].I
+	}
+	custNation := map[int64]int64{}
+	for _, c := range d.Customer.Rows {
+		custNation[c[0].I] = c[2].I
+	}
+	orderCust := map[int64]int64{}
+	for _, o := range d.Orders.Rows {
+		if o[4].I >= 0 && o[4].I < 365 {
+			orderCust[o[0].I] = o[1].I
+		}
+	}
+	out := map[string]float64{}
+	for _, l := range d.Lineitem.Rows {
+		cust, ok := orderCust[l[0].I]
+		if !ok {
+			continue
+		}
+		sn := suppNation[l[2].I]
+		if !nationAsia[sn] || custNation[cust] != sn {
+			continue
+		}
+		out[nationName[sn]] += l[4].F * (1 - l[5].F)
+	}
+	return out
+}
+
+func TestQ5CorrectAcrossStrategiesAndSkew(t *testing.T) {
+	for _, skew := range []bool{false, true} {
+		d := smallData(t, skew)
+		want := refQ5(d)
+		for _, strat := range []core.Strategy{core.Static, core.Corrective} {
+			rep, err := core.Run(catalog(d), Q5(), core.Options{
+				Strategy: strat, PollEvery: 1000, SwitchFactor: 0.8, MaxPhases: 4,
+			})
+			if err != nil {
+				t.Fatalf("skew=%v %v: %v", skew, strat, err)
+			}
+			if len(rep.Rows) != len(want) {
+				t.Fatalf("skew=%v %v: %d nations, want %d", skew, strat, len(rep.Rows), len(want))
+			}
+			for _, r := range rep.Rows {
+				if w := want[r[0].S]; math.Abs(r[1].F-w) > 1e-6*math.Max(1, math.Abs(w)) {
+					t.Fatalf("skew=%v %v: nation %s revenue %v, want %v", skew, strat, r[0].S, r[1], w)
+				}
+			}
+		}
+	}
+}
+
+func TestQ10DatePredicateReducesQ10A(t *testing.T) {
+	d := smallData(t, false)
+	rep10, err := core.Run(catalog(d), Q10(), core.Options{Strategy: core.Static})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep10a, err := core.Run(catalog(d), Q10A(), core.Options{Strategy: core.Static})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep10.Rows) >= len(rep10a.Rows) {
+		t.Errorf("Q10 (%d groups) should be smaller than Q10A (%d)", len(rep10.Rows), len(rep10a.Rows))
+	}
+	if rep10.VirtualSeconds >= rep10a.VirtualSeconds {
+		t.Errorf("Q10 should be cheaper than Q10A (%.3f vs %.3f virtual s)",
+			rep10.VirtualSeconds, rep10a.VirtualSeconds)
+	}
+}
+
+func TestKnownCards(t *testing.T) {
+	d := smallData(t, false)
+	kc := KnownCards(d)
+	if kc["orders"] != float64(d.Orders.Len()) || len(kc) != 6 {
+		t.Errorf("KnownCards wrong: %v", kc)
+	}
+}
+
+func TestWirelessQ3A(t *testing.T) {
+	d := smallData(t, false)
+	cat := core.NewCatalog(d.Relations(), func(r *source.Relation) source.Schedule {
+		return source.NewBursty(r.Len(), 50000, 500, 0.02, 7)
+	})
+	want := refQ3A(d)
+	rep, err := core.Run(cat, Q3A(), core.Options{Strategy: core.Corrective, PollEvery: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(want) {
+		t.Fatalf("wireless Q3A: %d groups, want %d", len(rep.Rows), len(want))
+	}
+}
