@@ -1,0 +1,30 @@
+# Developer/CI entry points. `make ci` is the pre-commit smoke: vet,
+# build, full tests, and the perf microbenchmarks that track the batched
+# execution path's allocation budget.
+
+GO ?= go
+
+.PHONY: all vet build test bench bench-perf ci
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Fast perf smoke: hash-probe and batched-push hot paths with allocation
+# reporting (these back the PR acceptance criteria).
+bench-perf:
+	$(GO) test -run='^$$' -bench='BenchmarkHashTableProbe' -benchmem ./internal/state/
+	$(GO) test -run='^$$' -bench='BenchmarkPipelinedJoinPush|BenchmarkAggTableAbsorb' -benchmem ./internal/exec/
+
+# Full benchmark sweep (paper figures; slow).
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem ./...
+
+ci: vet build test bench-perf

@@ -232,6 +232,11 @@ var NewExecContext = exec.NewContext
 // Sink receives tuples from push operators.
 type Sink = exec.Sink
 
+// BatchSink is the vectorized extension of Sink: operators that implement
+// it accept whole batches of tuples per call (see doc.go, "Batched push
+// execution").
+type BatchSink = exec.BatchSink
+
 // SinkFunc adapts a function to a Sink.
 type SinkFunc = exec.SinkFunc
 

@@ -39,6 +39,27 @@
 // The Report carries result rows plus the execution narrative: phases run,
 // plans used, stitch-up time, and tuples reused from prior phases.
 //
+// # Batched push execution
+//
+// The execution engine is vectorized: every hot-path operator implements
+// BatchSink (PushBatch([]Tuple)) in addition to the tuple-at-a-time Sink —
+// HashJoin (both inputs, via LeftSink/RightSink), Filter, Project,
+// Combine, Queue, AggTable, Pseudogroup, and WindowPreAgg. The source
+// driver groups consecutive already-available tuples from the same source
+// into batches, and each lowered plan forwards batches end to end
+// (operators without a batch path degrade transparently to per-tuple
+// Push). Batching is purely an execution-efficiency layer: delivery
+// order, operator counters, and virtual-clock accounting are identical to
+// tuple-at-a-time execution.
+//
+// Within a batch the engine is allocation-free at steady state: join keys
+// are hashed once and shared between build-insert and probe
+// (state.HashedProber), probe keys and group-by keys live in reused
+// scratch buffers (the types.AppendKey byte codec replaces fmt-based key
+// encoding), and join/projection outputs are carved from slab arenas so a
+// pipeline segment performs amortized O(1) allocations per tuple instead
+// of several.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured results; cmd/adpbench regenerates every table and
 // figure of the paper's evaluation.

@@ -1,0 +1,3 @@
+module github.com/tukwila/adp
+
+go 1.24.0

@@ -150,7 +150,9 @@ func (c *ComplementaryJoin) Finish() {
 }
 
 // stitch cross-joins a left-side table against a right-side table,
-// scanning the smaller and probing the larger.
+// scanning the smaller and probing the larger. Probes go through the
+// hashed fast path with a reused key buffer when the probed structure
+// advertises it (both sides are hash tables in the complementary pair).
 func (c *ComplementaryJoin) stitch(left, right state.Keyed) {
 	if left.Len() == 0 || right.Len() == 0 {
 		return
@@ -160,19 +162,36 @@ func (c *ComplementaryJoin) stitch(left, right state.Keyed) {
 		c.Stats.StitchOut++
 		c.out.Push(lt.Concat(rt))
 	}
+	probe := func(table state.Keyed, key types.Tuple, fn func(types.Tuple) bool) {
+		if hp, ok := table.(state.HashedProber); ok {
+			hp.ProbeHashed(key.HashKey(types.Identity(len(key))), key, fn)
+			return
+		}
+		table.Probe(key, fn)
+	}
 	if left.Len() <= right.Len() {
+		cols := left.KeyCols()
+		key := make(types.Tuple, len(cols))
 		left.Scan(func(lt types.Tuple) bool {
+			for i, col := range cols {
+				key[i] = lt[col]
+			}
 			c.ctx.Clock.Charge(c.ctx.Cost.HashProbe)
-			right.Probe(keyOf(lt, left.KeyCols()), func(rt types.Tuple) bool {
+			probe(right, key, func(rt types.Tuple) bool {
 				emit(lt, rt)
 				return true
 			})
 			return true
 		})
 	} else {
+		cols := right.KeyCols()
+		key := make(types.Tuple, len(cols))
 		right.Scan(func(rt types.Tuple) bool {
+			for i, col := range cols {
+				key[i] = rt[col]
+			}
 			c.ctx.Clock.Charge(c.ctx.Cost.HashProbe)
-			left.Probe(keyOf(rt, right.KeyCols()), func(lt types.Tuple) bool {
+			probe(left, key, func(lt types.Tuple) bool {
 				emit(lt, rt)
 				return true
 			})

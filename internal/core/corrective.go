@@ -385,6 +385,15 @@ func (ex *executor) runPhase(root algebra.Plan) (exhausted bool, next algebra.Pl
 				entry(t)
 			},
 		}
+		if entryBatch, ok := tree.EntryBatch[rel.Name]; ok {
+			leaf.PushBatch = func(ts []types.Tuple) {
+				for _, t := range ts {
+					part.Insert(t)
+				}
+				phasePassed[rel.Name] += float64(len(ts))
+				entryBatch(ts)
+			}
+		}
 		if ex.o.Instrument {
 			leaf.OnTuple = ex.instrumentFor(rel)
 		}
@@ -478,7 +487,7 @@ func (ex *executor) outputSink(root algebra.Plan) (exec.Sink, error) {
 			if err != nil {
 				return nil, err
 			}
-			return exec.SinkFunc(func(t types.Tuple) { ex.agg.AbsorbPartial(ad.Adapt(t)) }), nil
+			return &aggSink{agg: ex.agg, ad: ad, partial: true}, nil
 		}
 		ad, err := types.NewAdapter(rootSchema, ex.fullSchema)
 		if err != nil {
@@ -487,16 +496,13 @@ func (ex *executor) outputSink(root algebra.Plan) (exec.Sink, error) {
 		if ad.IsIdentity() {
 			return ex.agg, nil
 		}
-		return exec.SinkFunc(func(t types.Tuple) { ex.agg.AbsorbRaw(ad.Adapt(t)) }), nil
+		return &aggSink{agg: ex.agg, ad: ad}, nil
 	}
 	ad, err := types.NewAdapter(rootSchema, ex.outSchema)
 	if err != nil {
 		return nil, err
 	}
-	return exec.SinkFunc(func(t types.Tuple) {
-		ex.ctx.Clock.Charge(ex.ctx.Cost.Move)
-		ex.spjRows = append(ex.spjRows, ad.Adapt(t))
-	}), nil
+	return &collectSink{ctx: ex.ctx, ad: ad, dst: &ex.spjRows, cost: true}, nil
 }
 
 func planHasPreAgg(p algebra.Plan) bool {
@@ -625,7 +631,7 @@ func (ex *executor) stitchUp() error {
 			if err != nil {
 				return err
 			}
-			sink = exec.SinkFunc(func(t types.Tuple) { ex.agg.AbsorbRaw(ad.Adapt(t)) })
+			sink = &aggSink{agg: ex.agg, ad: ad}
 			return nil
 		}
 	} else {
@@ -634,7 +640,7 @@ func (ex *executor) stitchUp() error {
 			if err != nil {
 				return err
 			}
-			sink = exec.SinkFunc(func(t types.Tuple) { ex.spjRows = append(ex.spjRows, ad.Adapt(t)) })
+			sink = &collectSink{ctx: ex.ctx, ad: ad, dst: &ex.spjRows}
 			return nil
 		}
 	}

@@ -44,10 +44,7 @@ func (ex *executor) runPlanPartition() error {
 	matRows := state.NewList(matSchema)
 	// Tuples materialize in the subtree's own layout; matSchema only
 	// renames columns, so values pass through unchanged.
-	tree, err := Lower(ex.ctx, breakJoin, exec.SinkFunc(func(t types.Tuple) {
-		ex.ctx.Clock.Charge(ex.ctx.Cost.Move) // materialization write
-		matRows.Insert(t)
-	}))
+	tree, err := Lower(ex.ctx, breakJoin, &listSink{ctx: ex.ctx, dst: matRows})
 	if err != nil {
 		return err
 	}
@@ -101,13 +98,13 @@ func (ex *executor) runPlanPartition() error {
 			if err != nil {
 				return err
 			}
-			sink = exec.SinkFunc(func(t types.Tuple) { agg2.AbsorbPartial(ad.Adapt(t)) })
+			sink = &aggSink{agg: agg2, ad: ad, partial: true}
 		} else {
 			ad, err := types.NewAdapter(res2.Root.Schema(), full2)
 			if err != nil {
 				return err
 			}
-			sink = exec.SinkFunc(func(t types.Tuple) { agg2.AbsorbRaw(ad.Adapt(t)) })
+			sink = &aggSink{agg: agg2, ad: ad}
 		}
 	} else {
 		out2 := ex.outSchema
@@ -124,7 +121,7 @@ func (ex *executor) runPlanPartition() error {
 			return err
 		}
 		ex.outSchema = out2
-		sink = exec.SinkFunc(func(t types.Tuple) { ex.spjRows = append(ex.spjRows, ad.Adapt(t)) })
+		sink = &collectSink{ctx: ex.ctx, ad: ad, dst: &ex.spjRows}
 	}
 	tree2, err := Lower(ex.ctx, res2.Root, sink)
 	if err != nil {
@@ -153,7 +150,10 @@ func (ex *executor) runPlanPartition() error {
 			}
 			pred = bound
 		}
-		leaves2 = append(leaves2, &exec.Leaf{Provider: provider, Pred: pred, Push: entry})
+		leaves2 = append(leaves2, &exec.Leaf{
+			Provider: provider, Pred: pred,
+			Push: entry, PushBatch: tree2.EntryBatch[rel.Name],
+		})
 	}
 	t0 := ex.ctx.Clock.Now
 	d2 := exec.NewDriver(ex.ctx, leaves2...)
@@ -192,7 +192,10 @@ func (ex *executor) wireLeaves(tree *Tree, covered map[string]bool) ([]*exec.Lea
 			}
 			pred = bound
 		}
-		leaves = append(leaves, &exec.Leaf{Provider: ex.cat.Providers[rel.Name], Pred: pred, Push: entry})
+		leaves = append(leaves, &exec.Leaf{
+			Provider: ex.cat.Providers[rel.Name], Pred: pred,
+			Push: entry, PushBatch: tree.EntryBatch[rel.Name],
+		})
 	}
 	return leaves, nil
 }

@@ -62,6 +62,8 @@ type StitchUp struct {
 	tables map[string]*state.HashTable
 	// reuse bookkeeping: which intermediates were touched.
 	touched map[*state.List]bool
+	// keyScratch is the reused probe-key buffer.
+	keyScratch types.Tuple
 }
 
 // NewStitchUp prepares a stitch-up evaluation. out receives tuples in the
@@ -327,15 +329,16 @@ func (s *StitchUp) extend(prefix *prefixResult, i int, c []int) (*prefixResult, 
 	rCols := s.relKeyCols[i-1]
 	var out []types.Tuple
 	if len(prefix.rows) <= partLen {
-		// Scan the prefix, probe the partition's hash table.
+		// Scan the prefix, probe the partition's hash table (the reused
+		// key buffer + precomputed hash keep the probe allocation-free).
 		table := s.tableFor(i, c[i])
+		key := s.keyScratchFor(len(pCols))
 		for _, pt := range prefix.rows {
-			key := make([]types.Value, len(pCols))
 			for k, col := range pCols {
 				key[k] = pt[col]
 			}
 			s.ctx.Clock.Charge(s.ctx.Cost.HashProbe)
-			table.Probe(key, func(rt types.Tuple) bool {
+			table.ProbeHashed(key.HashKey(types.Identity(len(key))), key, func(rt types.Tuple) bool {
 				s.ctx.Clock.Charge(s.ctx.Cost.Move)
 				out = append(out, pt.Concat(rt))
 				return true
@@ -344,13 +347,13 @@ func (s *StitchUp) extend(prefix *prefixResult, i int, c []int) (*prefixResult, 
 	} else {
 		// Scan the (smaller) partition, probe a hash over the prefix.
 		ph := s.hashFor(prefix, i)
+		key := s.keyScratchFor(len(rCols))
 		part.Scan(func(rt types.Tuple) bool {
-			key := make([]types.Value, len(rCols))
 			for k, col := range rCols {
 				key[k] = rt[col]
 			}
 			s.ctx.Clock.Charge(s.ctx.Cost.HashProbe)
-			ph.Probe(key, func(pt types.Tuple) bool {
+			ph.ProbeHashed(key.HashKey(types.Identity(len(key))), key, func(pt types.Tuple) bool {
 				s.ctx.Clock.Charge(s.ctx.Cost.Move)
 				out = append(out, pt.Concat(rt))
 				return true
@@ -359,4 +362,12 @@ func (s *StitchUp) extend(prefix *prefixResult, i int, c []int) (*prefixResult, 
 		})
 	}
 	return &prefixResult{rows: out}, nil
+}
+
+// keyScratchFor returns the reused probe-key buffer sized to n.
+func (s *StitchUp) keyScratchFor(n int) types.Tuple {
+	if cap(s.keyScratch) < n {
+		s.keyScratch = make(types.Tuple, n)
+	}
+	return s.keyScratch[:n]
 }

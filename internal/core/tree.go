@@ -35,6 +35,11 @@ type Tree struct {
 	// Entry maps base relation name -> push function accepting post-
 	// filter source tuples.
 	Entry map[string]func(types.Tuple)
+	// EntryBatch maps base relation name -> batched push function (set
+	// when the operator at the entry point accepts batches; the source
+	// driver uses it to deliver whole batches into the plan). The batch
+	// slice must not be retained by the plan.
+	EntryBatch map[string]func([]types.Tuple)
 	// Joins lists join nodes bottom-up.
 	Joins []*TreeJoin
 	// PreAggWindow is the adjustable-window pre-aggregation operator if
@@ -68,11 +73,38 @@ func (b *blockingPreAgg) flush() {
 // ("most data integration systems almost exclusively rely on pipelined
 // hash joins", §3.4).
 func Lower(ctx *exec.Context, plan algebra.Plan, out exec.Sink) (*Tree, error) {
-	t := &Tree{ctx: ctx, Entry: map[string]func(types.Tuple){}, RootSchema: plan.Schema()}
+	t := &Tree{
+		ctx:        ctx,
+		Entry:      map[string]func(types.Tuple){},
+		EntryBatch: map[string]func([]types.Tuple){},
+		RootSchema: plan.Schema(),
+	}
 	if err := t.build(plan, out); err != nil {
 		return nil, err
 	}
 	return t, nil
+}
+
+// teeSink duplicates a join's output into its materialization buffer
+// (stitch-up reuse, §3.4.2) while forwarding it downstream; batches are
+// forwarded as batches.
+type teeSink struct {
+	buf *state.List
+	out exec.Sink
+}
+
+// Push implements exec.Sink.
+func (s *teeSink) Push(t types.Tuple) {
+	s.buf.Insert(t)
+	s.out.Push(t)
+}
+
+// PushBatch implements exec.BatchSink.
+func (s *teeSink) PushBatch(ts []types.Tuple) {
+	for _, t := range ts {
+		s.buf.Insert(t)
+	}
+	exec.PushAll(s.out, ts)
 }
 
 func (t *Tree) build(p algebra.Plan, out exec.Sink) error {
@@ -83,6 +115,9 @@ func (t *Tree) build(p algebra.Plan, out exec.Sink) error {
 			return fmt.Errorf("core: relation %q appears twice in plan", name)
 		}
 		t.Entry[name] = out.Push
+		if bs, ok := out.(exec.BatchSink); ok {
+			t.EntryBatch[name] = bs.PushBatch
+		}
 		return nil
 
 	case *algebra.JoinPlan:
@@ -98,20 +133,16 @@ func (t *Tree) build(p algebra.Plan, out exec.Sink) error {
 			style = exec.NestedLoops
 		}
 		buf := state.NewList(v.Schema())
-		tee := exec.SinkFunc(func(tp types.Tuple) {
-			buf.Insert(tp)
-			out.Push(tp)
-		})
-		node := exec.NewHashJoin(t.ctx, style, v.Left.Schema(), v.Right.Schema(), lk, rk, tee)
+		node := exec.NewHashJoin(t.ctx, style, v.Left.Schema(), v.Right.Schema(), lk, rk, &teeSink{buf: buf, out: out})
 		if v.EstLeftCard > 0 || v.EstRightCard > 0 {
 			// Size fixed-bucket tables from the optimizer's estimates
 			// (wrong estimates surface as bucket collisions, §4.4).
 			node.SizeTables(v.EstLeftCard, v.EstRightCard)
 		}
-		if err := t.build(v.Left, exec.SinkFunc(node.PushLeft)); err != nil {
+		if err := t.build(v.Left, node.LeftSink()); err != nil {
 			return err
 		}
-		if err := t.build(v.Right, exec.SinkFunc(node.PushRight)); err != nil {
+		if err := t.build(v.Right, node.RightSink()); err != nil {
 			return err
 		}
 		t.Joins = append(t.Joins, &TreeJoin{

@@ -145,8 +145,14 @@ type AggTable struct {
 	outSchema     *types.Schema
 	partialSchema *types.Schema
 
-	groups   map[string]*aggGroup
-	counters stats.OpCounters
+	groups map[string]*aggGroup
+	// keyBuf/valScratch are steady-state-allocation-free grouping scratch:
+	// the group key is byte-encoded into keyBuf and looked up with the
+	// map[string(buf)] idiom; group values are extracted into valScratch
+	// and only copied to owned storage when a new group is created.
+	keyBuf     []byte
+	valScratch []types.Value
+	counters   stats.OpCounters
 }
 
 // NewAggTable builds an aggregation table over raw input layout in.
@@ -193,29 +199,35 @@ func (a *AggTable) Counters() *stats.OpCounters { return &a.counters }
 // Groups returns the current number of groups.
 func (a *AggTable) Groups() int { return len(a.groups) }
 
+// groupFor finds or creates the group for the given key values. vals may
+// be scratch storage: it is byte-encoded for the map lookup (allocation-
+// free via the map[string(buf)] idiom) and copied to owned storage only
+// when the group is new.
 func (a *AggTable) groupFor(vals []types.Value) *aggGroup {
-	key := types.EncodeKey(types.Tuple(vals), seqIdx(len(vals)))
-	g, ok := a.groups[key]
+	a.keyBuf = types.AppendKeyAll(a.keyBuf[:0], types.Tuple(vals))
+	g, ok := a.groups[string(a.keyBuf)]
 	if !ok {
-		g = &aggGroup{groupVals: vals, states: make([]aggState, len(a.aggs))}
-		a.groups[key] = g
+		owned := make([]types.Value, len(vals))
+		copy(owned, vals)
+		g = &aggGroup{groupVals: owned, states: make([]aggState, len(a.aggs))}
+		a.groups[string(a.keyBuf)] = g
 	}
 	return g
 }
 
-func seqIdx(n int) []int {
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+// groupScratch returns the reused group-value buffer, sized to n.
+func (a *AggTable) groupScratch(n int) []types.Value {
+	if cap(a.valScratch) < n {
+		a.valScratch = make([]types.Value, n)
 	}
-	return idx
+	return a.valScratch[:n]
 }
 
 // AbsorbRaw folds one raw tuple (input layout).
 func (a *AggTable) AbsorbRaw(t types.Tuple) {
 	a.counters.In++
 	a.ctx.Clock.Charge(a.ctx.Cost.AggUpdate)
-	vals := make([]types.Value, len(a.groupIdx))
+	vals := a.groupScratch(len(a.groupIdx))
 	for i, gi := range a.groupIdx {
 		vals[i] = t[gi]
 	}
@@ -233,6 +245,14 @@ func (a *AggTable) AbsorbRaw(t types.Tuple) {
 // pipeline directly.
 func (a *AggTable) Push(t types.Tuple) { a.AbsorbRaw(t) }
 
+// PushBatch implements BatchSink: a batch of raw tuples is absorbed with
+// the shared grouping scratch, no per-tuple allocations at steady state.
+func (a *AggTable) PushBatch(ts []types.Tuple) {
+	for _, t := range ts {
+		a.AbsorbRaw(t)
+	}
+}
+
 // AbsorbPartial folds one partial tuple (PartialSchema layout), merging
 // pre-aggregated states: the final GROUP BY "coalesces pre-grouped
 // information instead of operating on original tuples" (§2.2).
@@ -240,7 +260,7 @@ func (a *AggTable) AbsorbPartial(t types.Tuple) {
 	a.counters.In++
 	a.ctx.Clock.Charge(a.ctx.Cost.AggUpdate)
 	ng := len(a.groupIdx)
-	vals := make([]types.Value, ng)
+	vals := a.groupScratch(ng)
 	copy(vals, t[:ng])
 	g := a.groupFor(vals)
 	col := ng
@@ -251,6 +271,13 @@ func (a *AggTable) AbsorbPartial(t types.Tuple) {
 	}
 }
 
+// AbsorbPartialBatch folds a batch of partial tuples.
+func (a *AggTable) AbsorbPartialBatch(ts []types.Tuple) {
+	for _, t := range ts {
+		a.AbsorbPartial(t)
+	}
+}
+
 // EmitFinal produces the final aggregate relation, sorted by group values
 // for determinism, and charges output costs.
 func (a *AggTable) EmitFinal() []types.Tuple {
@@ -258,7 +285,7 @@ func (a *AggTable) EmitFinal() []types.Tuple {
 	for _, g := range a.groups {
 		gs = append(gs, g)
 	}
-	idx := seqIdx(len(a.groupIdx))
+	idx := types.Identity(len(a.groupIdx))
 	sort.Slice(gs, func(i, j int) bool {
 		return types.CompareKey(types.Tuple(gs[i].groupVals), idx, types.Tuple(gs[j].groupVals), idx) < 0
 	})
@@ -285,7 +312,7 @@ func (a *AggTable) EmitPartial() []types.Tuple {
 	for _, g := range a.groups {
 		gs = append(gs, g)
 	}
-	idx := seqIdx(len(a.groupIdx))
+	idx := types.Identity(len(a.groupIdx))
 	sort.Slice(gs, func(i, j int) bool {
 		return types.CompareKey(types.Tuple(gs[i].groupVals), idx, types.Tuple(gs[j].groupVals), idx) < 0
 	})
@@ -316,6 +343,8 @@ type Pseudogroup struct {
 	argEvals []expr.Evaluator
 	schema   *types.Schema
 	out      Sink
+	arena    valueArena
+	scratch  []types.Tuple
 	counters stats.OpCounters
 }
 
@@ -359,7 +388,33 @@ func (p *Pseudogroup) Push(t types.Tuple) {
 	p.counters.In++
 	p.counters.Out++
 	p.ctx.Clock.Charge(p.ctx.Cost.Move)
-	out := make(types.Tuple, 0, len(p.groupIdx)+len(p.aggs)+1)
+	p.out.Push(p.singleton(t, false))
+}
+
+// PushBatch implements BatchSink: singleton partials are carved from an
+// arena and forwarded as one batch.
+func (p *Pseudogroup) PushBatch(ts []types.Tuple) {
+	p.scratch = p.scratch[:0]
+	for _, t := range ts {
+		p.counters.In++
+		p.counters.Out++
+		p.ctx.Clock.Charge(p.ctx.Cost.Move)
+		p.scratch = append(p.scratch, p.singleton(t, true))
+	}
+	if len(p.scratch) > 0 {
+		PushAll(p.out, p.scratch)
+	}
+}
+
+// singleton converts one raw tuple to a partial-layout singleton, carving
+// storage from the arena when requested.
+func (p *Pseudogroup) singleton(t types.Tuple, useArena bool) types.Tuple {
+	var out types.Tuple
+	if useArena {
+		out = p.arena.alloc(p.schema.Len())[:0]
+	} else {
+		out = make(types.Tuple, 0, p.schema.Len())
+	}
 	for _, gi := range p.groupIdx {
 		out = append(out, t[gi])
 	}
@@ -372,7 +427,7 @@ func (p *Pseudogroup) Push(t types.Tuple) {
 		st.accumulate(spec.Kind, v)
 		out = append(out, st.partialCols(spec.Kind)...)
 	}
-	p.out.Push(out)
+	return out
 }
 
 // WindowPreAgg is the paper's adjustable sliding-window pre-aggregation
@@ -398,6 +453,9 @@ type WindowPreAgg struct {
 
 	cur  map[string]*aggGroup
 	curN int
+
+	keyBuf     []byte
+	valScratch []types.Value
 
 	counters stats.OpCounters
 	// WindowsFlushed and Coalesced instrument the adaptation policy.
@@ -461,15 +519,20 @@ func (w *WindowPreAgg) Push(t types.Tuple) {
 		return
 	}
 	w.ctx.Clock.Charge(w.ctx.Cost.AggUpdate)
-	vals := make([]types.Value, len(w.groupIdx))
+	if cap(w.valScratch) < len(w.groupIdx) {
+		w.valScratch = make([]types.Value, len(w.groupIdx))
+	}
+	vals := w.valScratch[:len(w.groupIdx)]
 	for i, gi := range w.groupIdx {
 		vals[i] = t[gi]
 	}
-	key := types.EncodeKey(types.Tuple(vals), seqIdx(len(vals)))
-	g, ok := w.cur[key]
+	w.keyBuf = types.AppendKeyAll(w.keyBuf[:0], types.Tuple(vals))
+	g, ok := w.cur[string(w.keyBuf)]
 	if !ok {
-		g = &aggGroup{groupVals: vals, states: make([]aggState, len(w.aggs))}
-		w.cur[key] = g
+		owned := make([]types.Value, len(vals))
+		copy(owned, vals)
+		g = &aggGroup{groupVals: owned, states: make([]aggState, len(w.aggs))}
+		w.cur[string(w.keyBuf)] = g
 	}
 	for i, spec := range w.aggs {
 		var v types.Value
@@ -481,6 +544,13 @@ func (w *WindowPreAgg) Push(t types.Tuple) {
 	w.curN++
 	if w.curN >= w.W {
 		w.flush()
+	}
+}
+
+// PushBatch implements BatchSink.
+func (w *WindowPreAgg) PushBatch(ts []types.Tuple) {
+	for _, t := range ts {
+		w.Push(t)
 	}
 }
 

@@ -1,0 +1,76 @@
+package exec
+
+import (
+	"github.com/tukwila/adp/internal/types"
+)
+
+// BatchSink is the vectorized extension of Sink: operators that implement
+// it accept a whole slice of tuples per call, letting a pipeline segment
+// amortize per-tuple call and allocation overhead across the batch. The
+// batch slice is owned by the caller and is only valid for the duration of
+// the call — receivers must not retain it (retaining the tuples themselves
+// is fine). Semantics are exactly those of pushing each tuple in order:
+// counters, virtual-clock charges, and output ordering are identical to
+// the tuple-at-a-time path.
+type BatchSink interface {
+	Sink
+	// PushBatch pushes ts in order. ts must not be retained.
+	PushBatch(ts []types.Tuple)
+}
+
+// PushAll delivers a batch to any sink, using the vectorized fast path
+// when the sink advertises one and falling back to tuple-at-a-time Push
+// otherwise.
+func PushAll(s Sink, ts []types.Tuple) {
+	if bs, ok := s.(BatchSink); ok {
+		bs.PushBatch(ts)
+		return
+	}
+	for _, t := range ts {
+		s.Push(t)
+	}
+}
+
+// discardSink drops tuples and batches (benchmarks disable query output to
+// eliminate client feedback, §3.5).
+type discardSink struct{}
+
+func (discardSink) Push(types.Tuple)        {}
+func (discardSink) PushBatch([]types.Tuple) {}
+
+// Discard is a Sink that drops tuples.
+var Discard Sink = discardSink{}
+
+// arenaSlab is the value-arena slab size (values, not tuples).
+const arenaSlab = 4096
+
+// valueArena carves tuple storage out of large slabs so that operators
+// whose outputs are retained downstream (join results, projections) pay
+// one allocation per slab instead of one per tuple. Slabs are never
+// reused, so handed-out tuples remain valid forever; the returned slices
+// are capacity-capped so appending to one cannot clobber a neighbour.
+type valueArena struct {
+	slab []types.Value
+}
+
+// alloc returns a zeroed tuple of n values carved from the current slab.
+func (a *valueArena) alloc(n int) types.Tuple {
+	if cap(a.slab)-len(a.slab) < n {
+		sz := arenaSlab
+		if n > sz {
+			sz = n
+		}
+		a.slab = make([]types.Value, 0, sz)
+	}
+	off := len(a.slab)
+	a.slab = a.slab[:off+n]
+	return types.Tuple(a.slab[off : off+n : off+n])
+}
+
+// concat builds lt ++ rt in arena storage (the join-emit fast path).
+func (a *valueArena) concat(lt, rt types.Tuple) types.Tuple {
+	out := a.alloc(len(lt) + len(rt))
+	copy(out, lt)
+	copy(out[len(lt):], rt)
+	return out
+}

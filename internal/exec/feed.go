@@ -14,6 +14,10 @@ type Leaf struct {
 	Provider *source.Provider
 	// Push delivers a post-filter tuple into the plan.
 	Push func(t types.Tuple)
+	// PushBatch, when set, delivers a batch of post-filter tuples into
+	// the plan in one call (the driver's vectorized delivery path). The
+	// slice is reused across batches and must not be retained.
+	PushBatch func(ts []types.Tuple)
 	// Pred is the bound local selection (nil = none).
 	Pred func(t types.Tuple) bool
 	// OnTuple observes every tuple read (pre-filter), e.g. histogram
@@ -47,9 +51,14 @@ func NewDriver(ctx *Context, leaves ...*Leaf) *Driver {
 // Leaves returns the attached leaves.
 func (d *Driver) Leaves() []*Leaf { return d.leaves }
 
-// Step delivers a single tuple from the earliest-available non-exhausted
-// leaf; ok=false when all sources are exhausted.
-func (d *Driver) Step() bool {
+// DefaultBatch is the source-delivery batch size: the driver groups up to
+// this many consecutive same-leaf, already-available tuples into one
+// batch delivery.
+const DefaultBatch = 64
+
+// bestLeaf returns the index of the leaf whose next tuple arrives
+// earliest (ties to the lowest index), or -1 when all are exhausted.
+func (d *Driver) bestLeaf() int {
 	best := -1
 	bestAt := 0.0
 	for i, l := range d.leaves {
@@ -61,10 +70,13 @@ func (d *Driver) Step() bool {
 			best, bestAt = i, at
 		}
 	}
-	if best < 0 {
-		return false
-	}
-	l := d.leaves[best]
+	return best
+}
+
+// readInto consumes one row from leaf l, advancing the clock and charging
+// instrumentation/filter costs; it returns the tuple and whether it
+// survived the filter.
+func (d *Driver) readInto(l *Leaf) (types.Tuple, bool) {
 	row, _ := l.Provider.Next()
 	d.ctx.Clock.AdvanceTo(row.At)
 	l.Read++
@@ -77,13 +89,66 @@ func (d *Driver) Step() bool {
 	if l.Pred != nil {
 		d.ctx.Clock.Charge(d.ctx.Cost.Compare)
 		if !l.Pred(row.T) {
-			return true
+			return nil, false
 		}
 	}
 	l.Passed++
 	d.counters.Out++
-	l.Push(row.T)
+	return row.T, true
+}
+
+// Step delivers a single tuple from the earliest-available non-exhausted
+// leaf; ok=false when all sources are exhausted.
+func (d *Driver) Step() bool {
+	best := d.bestLeaf()
+	if best < 0 {
+		return false
+	}
+	l := d.leaves[best]
+	if t, ok := d.readInto(l); ok {
+		l.Push(t)
+	}
 	return true
+}
+
+// stepBatch reads up to max tuples from the earliest-available leaf into
+// batch and delivers the post-filter survivors in one call (PushBatch when
+// the leaf supports it). A batch extends only while the same leaf remains
+// the earliest under Step's selection rule AND its next tuple is already
+// available (arrival ≤ current virtual time, so the AdvanceTo it would
+// perform is a no-op) — which makes the batched run's delivery order,
+// counters, and final clock identical to tuple-at-a-time stepping. It
+// returns the number of tuples read (0 when sources are exhausted).
+func (d *Driver) stepBatch(max int, batch *[]types.Tuple) int {
+	best := d.bestLeaf()
+	if best < 0 {
+		return 0
+	}
+	l := d.leaves[best]
+	buf := (*batch)[:0]
+	reads := 0
+	for reads < max {
+		t, ok := d.readInto(l)
+		reads++
+		if ok {
+			buf = append(buf, t)
+		}
+		at, more := l.Provider.PeekArrival()
+		if !more || at > d.ctx.Clock.Now || d.bestLeaf() != best {
+			break
+		}
+	}
+	*batch = buf
+	if len(buf) > 0 {
+		if l.PushBatch != nil {
+			l.PushBatch(buf)
+		} else {
+			for _, t := range buf {
+				l.Push(t)
+			}
+		}
+	}
+	return reads
 }
 
 // Run delivers tuples until the sources are exhausted or poll asks to
@@ -93,16 +158,29 @@ func (d *Driver) Step() bool {
 // every operator has fully processed what it was fed ("allow the plan to
 // reach a consistent state", §4.1). Run reports whether the sources are
 // exhausted.
+//
+// Delivery is batched: consecutive already-available tuples from the same
+// source flow to the plan as one batch (capped so poll still fires at
+// exactly every pollEvery tuples read).
 func (d *Driver) Run(pollEvery int, poll func() bool) (exhausted bool) {
+	batch := make([]types.Tuple, 0, DefaultBatch)
 	sincePoll := 0
 	for {
-		if !d.Step() {
+		budget := DefaultBatch
+		if poll != nil && pollEvery-sincePoll < budget {
+			budget = pollEvery - sincePoll
+		}
+		if budget < 1 {
+			budget = 1
+		}
+		n := d.stepBatch(budget, &batch)
+		if n == 0 {
 			return true
 		}
 		if poll == nil {
 			continue
 		}
-		sincePoll++
+		sincePoll += n
 		if sincePoll >= pollEvery {
 			sincePoll = 0
 			if poll() {

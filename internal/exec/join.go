@@ -17,10 +17,6 @@ type SinkFunc func(t types.Tuple)
 // Push implements Sink.
 func (f SinkFunc) Push(t types.Tuple) { f(t) }
 
-// Discard is a Sink that drops tuples (benchmarks disable query output to
-// eliminate client feedback, §3.5).
-var Discard = SinkFunc(func(types.Tuple) {})
-
 // JoinStyle selects the iterator module driving a join node's state
 // structures (§3.1): data-availability-driven (pipelined hash),
 // build-then-probe (hybrid hash), or nested-loops-style iteration.
@@ -69,12 +65,26 @@ type HashJoin struct {
 	left  state.Keyed // buffered left tuples (hash or list)
 	right state.Keyed
 
+	// leftHT/rightHT are the concrete hash tables behind left/right (nil
+	// for nested loops), cached so the batched fast path can use the
+	// hashed insert/probe APIs without per-tuple type assertions.
+	leftHT  *state.HashTable
+	rightHT *state.HashTable
+
 	leftList  *state.List // nested-loops storage
 	rightList *state.List
 
 	pendingProbes []types.Tuple // BuildThenProbe: left tuples awaiting build
 	leftDone      bool
 	rightDone     bool
+
+	// Batched-execution scratch: the reused probe-key buffer, the output
+	// buffer a batch's emits accumulate into before one downstream
+	// delivery, and the arena join results are carved from.
+	keyScratch types.Tuple
+	outBuf     []types.Tuple
+	batching   bool
+	arena      valueArena
 
 	counters stats.OpCounters
 }
@@ -96,8 +106,9 @@ func NewHashJoin(ctx *Context, style JoinStyle, leftSchema, rightSchema *types.S
 		j.leftList = state.NewList(leftSchema)
 		j.rightList = state.NewList(rightSchema)
 	} else {
-		j.left = state.NewHashTable(leftSchema, leftKey)
-		j.right = state.NewHashTable(rightSchema, rightKey)
+		j.leftHT = state.NewHashTable(leftSchema, leftKey)
+		j.rightHT = state.NewHashTable(rightSchema, rightKey)
+		j.left, j.right = j.leftHT, j.rightHT
 	}
 	return j
 }
@@ -128,6 +139,7 @@ func (j *HashJoin) SizeTables(estLeft, estRight float64) {
 	rt := state.NewHashTableSized(j.right.Schema(), j.rightKey, size(estRight))
 	rt.Fixed = true
 	j.left, j.right = lt, rt
+	j.leftHT, j.rightHT = lt, rt
 }
 
 // Counters exposes the operator's statistics block (§3.3).
@@ -171,6 +183,143 @@ func (j *HashJoin) PushLeft(t types.Tuple) {
 		j.ctx.Clock.Charge(j.ctx.Cost.Move)
 		j.scanRight(t)
 	}
+}
+
+// joinSide exposes one input of a HashJoin as a (batch-capable) sink, so
+// plan lowering can wire whole batches into either side.
+type joinSide struct {
+	j    *HashJoin
+	left bool
+}
+
+// Push implements Sink.
+func (s joinSide) Push(t types.Tuple) {
+	if s.left {
+		s.j.PushLeft(t)
+	} else {
+		s.j.PushRight(t)
+	}
+}
+
+// PushBatch implements BatchSink.
+func (s joinSide) PushBatch(ts []types.Tuple) {
+	if s.left {
+		s.j.PushLeftBatch(ts)
+	} else {
+		s.j.PushRightBatch(ts)
+	}
+}
+
+// LeftSink returns the join's left input as a batch-capable sink.
+func (j *HashJoin) LeftSink() Sink { return joinSide{j: j, left: true} }
+
+// RightSink returns the join's right input as a batch-capable sink.
+func (j *HashJoin) RightSink() Sink { return joinSide{j: j, left: false} }
+
+// PushLeftBatch feeds a batch of tuples into the left input. For hash
+// styles this is the allocation-amortized fast path: each tuple's key is
+// hashed exactly once (shared between the build-side insert and the
+// opposite-side probe), probe keys live in a reused scratch buffer, join
+// results are carved from an arena, and the batch's outputs are delivered
+// downstream in one call. Counters, clock charges, and output order are
+// identical to pushing the tuples one at a time.
+func (j *HashJoin) PushLeftBatch(ts []types.Tuple) {
+	if j.Style == NestedLoops {
+		for _, t := range ts {
+			j.PushLeft(t)
+		}
+		return
+	}
+	j.beginBatch()
+	for _, t := range ts {
+		j.counters.In++
+		j.counters.InLeft++
+		h := t.HashKey(j.leftKey)
+		j.leftHT.InsertHashed(h, t)
+		j.ctx.Clock.Charge(j.ctx.Cost.HashInsert)
+		if j.Style == Pipelined || j.rightDone {
+			j.probeRightHashed(h, t)
+		} else {
+			j.pendingProbes = append(j.pendingProbes, t)
+		}
+	}
+	j.endBatch()
+}
+
+// PushRightBatch feeds a batch of tuples into the right input.
+func (j *HashJoin) PushRightBatch(ts []types.Tuple) {
+	if j.Style == NestedLoops {
+		for _, t := range ts {
+			j.PushRight(t)
+		}
+		return
+	}
+	j.beginBatch()
+	for _, t := range ts {
+		j.counters.In++
+		j.counters.InRight++
+		h := t.HashKey(j.rightKey)
+		j.rightHT.InsertHashed(h, t)
+		j.ctx.Clock.Charge(j.ctx.Cost.HashInsert)
+		if j.Style == Pipelined {
+			j.probeLeftHashed(h, t)
+		}
+		// BuildThenProbe: probes wait for FinishRight.
+	}
+	j.endBatch()
+}
+
+// beginBatch switches emits to the arena + output-buffer path.
+func (j *HashJoin) beginBatch() { j.batching = true }
+
+// endBatch delivers the accumulated outputs downstream in one call. The
+// buffer is cleared before reuse so it does not pin arena-backed results
+// downstream has already dropped.
+func (j *HashJoin) endBatch() {
+	j.batching = false
+	if len(j.outBuf) == 0 {
+		return
+	}
+	PushAll(j.out, j.outBuf)
+	clear(j.outBuf)
+	j.outBuf = j.outBuf[:0]
+}
+
+// keyFor extracts t's key columns into the reused scratch buffer. The
+// result is only valid until the next keyFor call; probe callees do not
+// retain it.
+func (j *HashJoin) keyFor(t types.Tuple, cols []int) types.Tuple {
+	if cap(j.keyScratch) < len(cols) {
+		j.keyScratch = make(types.Tuple, len(cols))
+	}
+	k := j.keyScratch[:len(cols)]
+	for i, c := range cols {
+		k[i] = t[c]
+	}
+	return k
+}
+
+// probeRightHashed probes the right table with lt's key and its
+// precomputed hash, zero-allocation except for emitted results.
+func (j *HashJoin) probeRightHashed(h uint64, lt types.Tuple) {
+	key := j.keyFor(lt, j.leftKey)
+	work := 1.0 + float64(j.rightHT.ChainLenHashed(h))
+	j.ctx.Clock.Charge(work * j.ctx.Cost.HashProbe)
+	j.rightHT.ProbeHashed(h, key, func(rt types.Tuple) bool {
+		j.emit(lt, rt)
+		return true
+	})
+}
+
+// probeLeftHashed is the mirror of probeRightHashed.
+func (j *HashJoin) probeLeftHashed(h uint64, rt types.Tuple) {
+	key := j.keyFor(rt, j.rightKey)
+	work := 1.0 + float64(j.leftHT.ChainLenHashed(h))
+	j.ctx.Clock.Charge(work * j.ctx.Cost.HashProbe)
+	j.leftHT.ProbeHashed(h, key, func(lt types.Tuple) bool {
+		j.emit(lt, rt)
+		return true
+	})
 }
 
 // PushRight feeds one tuple into the right input.
@@ -248,6 +397,10 @@ func (j *HashJoin) scanLeft(rt types.Tuple) {
 func (j *HashJoin) emit(lt, rt types.Tuple) {
 	j.ctx.Clock.Charge(j.ctx.Cost.Move)
 	j.counters.Out++
+	if j.batching {
+		j.outBuf = append(j.outBuf, j.arena.concat(lt, rt))
+		return
+	}
 	j.out.Push(lt.Concat(rt))
 }
 
@@ -271,6 +424,7 @@ type Filter struct {
 	ctx      *Context
 	pred     func(types.Tuple) bool
 	out      Sink
+	scratch  []types.Tuple
 	counters stats.OpCounters
 }
 
@@ -289,6 +443,23 @@ func (f *Filter) Push(t types.Tuple) {
 	}
 }
 
+// PushBatch implements BatchSink: survivors are collected into a reused
+// scratch batch and forwarded in one downstream call.
+func (f *Filter) PushBatch(ts []types.Tuple) {
+	f.scratch = f.scratch[:0]
+	for _, t := range ts {
+		f.counters.In++
+		f.ctx.Clock.Charge(f.ctx.Cost.Compare)
+		if f.pred(t) {
+			f.counters.Out++
+			f.scratch = append(f.scratch, t)
+		}
+	}
+	if len(f.scratch) > 0 {
+		PushAll(f.out, f.scratch)
+	}
+}
+
 // Counters exposes statistics.
 func (f *Filter) Counters() *stats.OpCounters { return &f.counters }
 
@@ -297,6 +468,8 @@ type Project struct {
 	ctx      *Context
 	adapter  *types.Adapter
 	out      Sink
+	arena    valueArena
+	scratch  []types.Tuple
 	counters stats.OpCounters
 }
 
@@ -311,6 +484,23 @@ func (p *Project) Push(t types.Tuple) {
 	p.counters.Out++
 	p.ctx.Clock.Charge(p.ctx.Cost.Move)
 	p.out.Push(p.adapter.Adapt(t))
+}
+
+// PushBatch implements BatchSink. Output tuples are carved from an arena
+// (projections may be retained downstream, so storage is never reused,
+// just allocated in slabs) and forwarded as one batch.
+func (p *Project) PushBatch(ts []types.Tuple) {
+	width := p.adapter.To().Len()
+	p.scratch = p.scratch[:0]
+	for _, t := range ts {
+		p.counters.In++
+		p.counters.Out++
+		p.ctx.Clock.Charge(p.ctx.Cost.Move)
+		p.scratch = append(p.scratch, p.adapter.AdaptInto(p.arena.alloc(width), t))
+	}
+	if len(p.scratch) > 0 {
+		PushAll(p.out, p.scratch)
+	}
 }
 
 // Counters exposes statistics.
@@ -331,6 +521,13 @@ func (c *Combine) Push(t types.Tuple) {
 	c.counters.In++
 	c.counters.Out++
 	c.out.Push(t)
+}
+
+// PushBatch implements BatchSink (pass-through).
+func (c *Combine) PushBatch(ts []types.Tuple) {
+	c.counters.In += int64(len(ts))
+	c.counters.Out += int64(len(ts))
+	PushAll(c.out, ts)
 }
 
 // Counters exposes statistics.
@@ -354,20 +551,34 @@ func (q *Queue) Push(t types.Tuple) {
 	q.buf = append(q.buf, t)
 }
 
+// PushBatch implements BatchSink (bulk enqueue).
+func (q *Queue) PushBatch(ts []types.Tuple) {
+	q.counters.In += int64(len(ts))
+	q.buf = append(q.buf, ts...)
+}
+
 // Len returns the queued count.
 func (q *Queue) Len() int { return len(q.buf) }
 
-// Drain flushes up to max tuples (max<=0 flushes all).
+// Drain flushes up to max tuples (max<=0 flushes all) as one batch. The
+// drained prefix is compacted out of the backing array (rather than
+// re-slicing past it, which would pin the drained tuples in memory and
+// leak the array's head for the queue's lifetime) and the vacated tail is
+// cleared so drained tuples become collectable as soon as downstream is
+// done with them.
 func (q *Queue) Drain(max int) int {
 	n := len(q.buf)
 	if max > 0 && max < n {
 		n = max
 	}
-	for i := 0; i < n; i++ {
-		q.counters.Out++
-		q.out.Push(q.buf[i])
+	if n == 0 {
+		return 0
 	}
-	q.buf = q.buf[n:]
+	q.counters.Out += int64(n)
+	PushAll(q.out, q.buf[:n])
+	rest := copy(q.buf, q.buf[n:])
+	clear(q.buf[rest:])
+	q.buf = q.buf[:rest]
 	return n
 }
 

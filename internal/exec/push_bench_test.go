@@ -1,0 +1,93 @@
+package exec
+
+import (
+	"testing"
+
+	"github.com/tukwila/adp/internal/algebra"
+	"github.com/tukwila/adp/internal/types"
+)
+
+// BenchmarkPipelinedJoinPush compares tuple-at-a-time vs batched push
+// through a symmetric pipelined hash join — the engine's innermost loop.
+// allocs/op is the headline metric: the batched path amortizes probe-key,
+// probe-index, and join-result allocations across the batch.
+func BenchmarkPipelinedJoinPush(b *testing.B) {
+	const batch = 64
+	mkRows := func(n int) ([]types.Tuple, []types.Tuple) {
+		dom := int64(max(n/4, 4))
+		return randTuples(n, dom, 7, rRow), randTuples(n, dom, 8, sRow)
+	}
+	b.Run("tuple-at-a-time", func(b *testing.B) {
+		ls, rs := mkRows(b.N)
+		j := NewHashJoin(NewContext(), Pipelined, rSchema, sSchema, []int{0}, []int{0}, Discard)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j.PushLeft(ls[i])
+			j.PushRight(rs[i])
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		ls, rs := mkRows(b.N)
+		j := NewHashJoin(NewContext(), Pipelined, rSchema, sSchema, []int{0}, []int{0}, Discard)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += batch {
+			end := min(i+batch, b.N)
+			j.PushLeftBatch(ls[i:end])
+			j.PushRightBatch(rs[i:end])
+		}
+	})
+}
+
+// BenchmarkAggTableAbsorb tracks the group-by absorption hot path (byte
+// key codec + map[string(buf)] lookup; zero steady-state allocations once
+// all groups exist).
+func BenchmarkAggTableAbsorb(b *testing.B) {
+	rows := randTuples(1<<14, 512, 9, rRow)
+	agg, err := NewAggTable(NewContext(), rSchema, []string{"r.k"},
+		[]algebra.AggSpec{{Kind: algebra.AggCount, As: "n"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg.AbsorbRaw(rows[i&(1<<14-1)])
+	}
+}
+
+// BenchmarkPipelineSegmentPush pushes batches through Filter → Join →
+// AggTable, the shape of a lowered phase plan.
+func BenchmarkPipelineSegmentPush(b *testing.B) {
+	const batch = 64
+	full := rSchema.Concat(sSchema)
+	run := func(b *testing.B, batched bool) {
+		ls := randTuples(b.N, int64(max(b.N/4, 4)), 10, rRow)
+		rs := randTuples(b.N, int64(max(b.N/4, 4)), 11, sRow)
+		ctx := NewContext()
+		agg, err := NewAggTable(ctx, full, []string{"r.k"},
+			[]algebra.AggSpec{{Kind: algebra.AggCount, As: "n"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		j := NewHashJoin(ctx, Pipelined, rSchema, sSchema, []int{0}, []int{0}, agg)
+		f := NewFilter(ctx, func(tp types.Tuple) bool { return tp[1].I%5 != 0 }, j.LeftSink())
+		b.ReportAllocs()
+		b.ResetTimer()
+		if batched {
+			for i := 0; i < b.N; i += batch {
+				end := min(i+batch, b.N)
+				f.PushBatch(ls[i:end])
+				j.PushRightBatch(rs[i:end])
+			}
+		} else {
+			for i := 0; i < b.N; i++ {
+				f.Push(ls[i])
+				j.PushRight(rs[i])
+			}
+		}
+	}
+	b.Run("tuple-at-a-time", func(b *testing.B) { run(b, false) })
+	b.Run("batch", func(b *testing.B) { run(b, true) })
+}

@@ -71,21 +71,51 @@ func (h *HashTable) bucketOf(hash uint64) int {
 
 // Insert implements Structure.
 func (h *HashTable) Insert(t types.Tuple) {
+	h.InsertHashed(t.HashKey(h.keyCols), t)
+}
+
+// InsertHashed inserts a tuple whose key hash the caller already computed
+// (a pipelined join hashes each tuple once and reuses the hash for both
+// the build insert and the opposite-side probe).
+func (h *HashTable) InsertHashed(hash uint64, t types.Tuple) {
 	if !h.Fixed && h.n >= 4*len(h.buckets) {
 		h.grow()
 	}
-	b := h.bucketOf(t.HashKey(h.keyCols))
+	b := h.bucketOf(hash)
 	h.buckets[b] = append(h.buckets[b], t)
 	h.n++
 }
 
+// grow doubles the bucket array. Doubling means each old chain splits
+// across exactly two destinations (b and b+len(old)), so chains are
+// counted first and allocated at exact capacity — no append-regrowth
+// churn while rehashing.
 func (h *HashTable) grow() {
 	old := h.buckets
-	h.buckets = make([][]types.Tuple, 2*len(old))
-	for _, chain := range old {
+	half := len(old)
+	h.buckets = make([][]types.Tuple, 2*half)
+	var dests []int
+	for b, chain := range old {
+		if len(chain) == 0 {
+			continue
+		}
+		dests = dests[:0]
+		hi := 0
 		for _, t := range chain {
-			b := h.bucketOf(t.HashKey(h.keyCols))
-			h.buckets[b] = append(h.buckets[b], t)
+			d := h.bucketOf(t.HashKey(h.keyCols))
+			dests = append(dests, d)
+			if d != b {
+				hi++
+			}
+		}
+		if lo := len(chain) - hi; lo > 0 {
+			h.buckets[b] = make([]types.Tuple, 0, lo)
+		}
+		if hi > 0 {
+			h.buckets[b+half] = make([]types.Tuple, 0, hi)
+		}
+		for i, t := range chain {
+			h.buckets[dests[i]] = append(h.buckets[dests[i]], t)
 		}
 	}
 }
@@ -124,16 +154,21 @@ func (h *HashTable) KeyCols() []int { return h.keyCols }
 // Probe implements Keyed.
 func (h *HashTable) Probe(key []types.Value, fn func(types.Tuple) bool) {
 	probe := types.Tuple(key)
-	idx := make([]int, len(key))
-	for i := range idx {
-		idx[i] = i
-	}
-	bi := h.bucketOf(probe.HashKey(idx))
+	h.ProbeHashed(probe.HashKey(types.Identity(len(key))), probe, fn)
+}
+
+// ProbeHashed is the allocation-free probe fast path: the caller supplies
+// the key's hash (computed once per tuple and shared between insert and
+// probe) and the key as a tuple prefix. Steady-state it performs zero
+// allocations.
+func (h *HashTable) ProbeHashed(hash uint64, key types.Tuple, fn func(types.Tuple) bool) {
+	bi := h.bucketOf(hash)
 	if h.isSpilled(bi) {
 		h.DiskReads++
 	}
+	idx := types.Identity(len(key))
 	for _, t := range h.buckets[bi] {
-		if t.KeyEquals(h.keyCols, probe, idx) {
+		if t.KeyEquals(h.keyCols, key, idx) {
 			if !fn(t) {
 				return
 			}
@@ -148,11 +183,12 @@ func (h *HashTable) Probe(key []types.Value, fn func(types.Tuple) bool) {
 // suffer from many bucket collisions" (§4.4).
 func (h *HashTable) ChainLen(key []types.Value) int {
 	probe := types.Tuple(key)
-	idx := make([]int, len(key))
-	for i := range idx {
-		idx[i] = i
-	}
-	return len(h.buckets[h.bucketOf(probe.HashKey(idx))])
+	return h.ChainLenHashed(probe.HashKey(types.Identity(len(key))))
+}
+
+// ChainLenHashed is ChainLen for a precomputed key hash.
+func (h *HashTable) ChainLenHashed(hash uint64) int {
+	return len(h.buckets[h.bucketOf(hash)])
 }
 
 // Rehash builds a new hash table over the same tuples keyed on different
@@ -282,16 +318,20 @@ func (h *HashOverSorted) KeyCols() []int { return h.keyCols }
 // Probe implements Keyed with binary search inside the bucket.
 func (h *HashOverSorted) Probe(key []types.Value, fn func(types.Tuple) bool) {
 	probe := types.Tuple(key)
-	idx := make([]int, len(key))
-	for i := range idx {
-		idx[i] = i
-	}
-	chain := h.buckets[int(probe.HashKey(idx))&(len(h.buckets)-1)]
+	h.ProbeHashed(probe.HashKey(types.Identity(len(key))), probe, fn)
+}
+
+// ProbeHashed probes with a precomputed key hash (see
+// HashTable.ProbeHashed); binary search within the bucket, zero
+// steady-state allocations.
+func (h *HashOverSorted) ProbeHashed(hash uint64, key types.Tuple, fn func(types.Tuple) bool) {
+	idx := types.Identity(len(key))
+	chain := h.buckets[int(hash)&(len(h.buckets)-1)]
 	lo := sort.Search(len(chain), func(i int) bool {
-		return types.CompareKey(chain[i], h.keyCols, probe, idx) >= 0
+		return types.CompareKey(chain[i], h.keyCols, key, idx) >= 0
 	})
 	for i := lo; i < len(chain); i++ {
-		if types.CompareKey(chain[i], h.keyCols, probe, idx) != 0 {
+		if types.CompareKey(chain[i], h.keyCols, key, idx) != 0 {
 			return
 		}
 		if !fn(chain[i]) {

@@ -1,0 +1,46 @@
+package state
+
+import (
+	"testing"
+
+	"github.com/tukwila/adp/internal/types"
+)
+
+// BenchmarkHashTableProbe tracks the probe hot path's time and
+// allocations: the plain Keyed.Probe interface call vs the
+// precomputed-hash fast path a pipelined join uses.
+func BenchmarkHashTableProbe(b *testing.B) {
+	h := allocTestTable(1 << 16)
+	key := []types.Value{types.Int(123)}
+	fn := func(types.Tuple) bool { return true }
+
+	b.Run("probe", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Probe(key, fn)
+		}
+	})
+	b.Run("probe-hashed", func(b *testing.B) {
+		b.ReportAllocs()
+		tup := types.Tuple(key)
+		hash := tup.HashKey(types.Identity(1))
+		for i := 0; i < b.N; i++ {
+			h.ProbeHashed(hash, tup, fn)
+		}
+	})
+}
+
+// BenchmarkHashTableInsert tracks insert cost including grow()
+// re-bucketing amortization.
+func BenchmarkHashTableInsert(b *testing.B) {
+	schema := types.NewSchema(
+		types.Column{Name: "t.k", Kind: types.KindInt},
+		types.Column{Name: "t.v", Kind: types.KindInt},
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	h := NewHashTable(schema, []int{0})
+	for i := 0; i < b.N; i++ {
+		h.Insert(types.Tuple{types.Int(int64(i)), types.Int(int64(i))})
+	}
+}

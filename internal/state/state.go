@@ -51,6 +51,17 @@ type Keyed interface {
 	Probe(key []types.Value, fn func(t types.Tuple) bool)
 }
 
+// HashedProber is the allocation-free probe fast path advertised by
+// hash-based structures: the caller hashes the key once (typically shared
+// with the build-side insert) and probes without any per-call allocation.
+// Operators type-assert for it and fall back to Keyed.Probe otherwise.
+type HashedProber interface {
+	Keyed
+	// ProbeHashed visits tuples matching key, whose hash the caller
+	// precomputed with Tuple.HashKey over the key's positions.
+	ProbeHashed(hash uint64, key types.Tuple, fn func(t types.Tuple) bool)
+}
+
 // List is the simplest structure: an insertion-ordered tuple buffer with
 // no key access (nested-loops inners, combine buffers).
 type List struct {
@@ -141,10 +152,7 @@ func (s *SortedList) KeyCols() []int { return s.keyCols }
 // Probe implements Keyed via binary search.
 func (s *SortedList) Probe(key []types.Value, fn func(types.Tuple) bool) {
 	probe := types.Tuple(key)
-	idx := make([]int, len(key))
-	for i := range idx {
-		idx[i] = i
-	}
+	idx := types.Identity(len(key))
 	lo := sort.Search(len(s.rows), func(i int) bool {
 		return types.CompareKey(s.rows[i], s.keyCols, probe, idx) >= 0
 	})
@@ -160,10 +168,7 @@ func (s *SortedList) Probe(key []types.Value, fn func(types.Tuple) bool) {
 
 // ScanRange visits tuples with key in [lo, hi] (inclusive), in order.
 func (s *SortedList) ScanRange(lo, hi []types.Value, fn func(types.Tuple) bool) {
-	idx := make([]int, len(lo))
-	for i := range idx {
-		idx[i] = i
-	}
+	idx := types.Identity(len(lo))
 	start := sort.Search(len(s.rows), func(i int) bool {
 		return types.CompareKey(s.rows[i], s.keyCols, types.Tuple(lo), idx) >= 0
 	})

@@ -1,0 +1,171 @@
+package types
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestKeyCodecRoundTrip(t *testing.T) {
+	cases := [][]Value{
+		{Int(0)},
+		{Int(1), Int(-1), Int(math.MaxInt64), Int(math.MinInt64)},
+		{Float(0), Float(-3.25), Float(1e300), Float(math.SmallestNonzeroFloat64)},
+		{Float(math.Inf(1)), Float(math.Inf(-1))},
+		{Str(""), Str("a"), Str("hello world"), Str("naïve–ünïcode")},
+		{Str("embedded\x00nul"), Str(string([]byte{0, 1, 2, 255}))},
+		{Null()},
+		{Null(), Int(7), Null(), Str(""), Float(2.5), Null()},
+		{Int(42), Str("42"), Float(42)},
+	}
+	for _, vals := range cases {
+		tup := Tuple(vals)
+		enc := AppendKey(nil, tup, Identity(len(tup)))
+		dec, err := DecodeKey(enc)
+		if err != nil {
+			t.Fatalf("DecodeKey(%v): %v", tup, err)
+		}
+		if len(dec) != len(tup) {
+			t.Fatalf("round trip of %v: got %d values, want %d", tup, len(dec), len(tup))
+		}
+		for i := range tup {
+			if dec[i].K != tup[i].K || !Equal(dec[i], tup[i]) {
+				t.Fatalf("round trip of %v: col %d decoded as %v (%v)", tup, i, dec[i], dec[i].K)
+			}
+		}
+	}
+}
+
+func TestKeyCodecRoundTripNaN(t *testing.T) {
+	enc := AppendKeyValue(nil, Float(math.NaN()))
+	dec, err := DecodeKey(enc)
+	if err != nil {
+		t.Fatalf("DecodeKey(NaN): %v", err)
+	}
+	if len(dec) != 1 || dec[0].K != KindFloat || !math.IsNaN(dec[0].F) {
+		t.Fatalf("NaN round trip: got %v", dec)
+	}
+}
+
+// TestKeyCodecDistinctness pins the grouping invariant: values that must
+// form distinct groups encode to distinct byte strings — across kinds
+// (Int(1) vs Str("1") vs Float(1)) and across column framings
+// ("a","b" vs "ab","" vs "a\x00b").
+func TestKeyCodecDistinctness(t *testing.T) {
+	keys := [][]Value{
+		{Int(1)},
+		{Str("1")},
+		{Float(1)},
+		{Null()},
+		{Str("a"), Str("b")},
+		{Str("ab"), Str("")},
+		{Str("a\x00b")},
+		{Str("a"), Null(), Str("b")},
+		{Int(12), Int(3)},
+		{Int(1), Int(23)},
+		{Int(123)},
+	}
+	seen := map[string][]Value{}
+	for _, vals := range keys {
+		enc := string(AppendKeyAll(nil, Tuple(vals)))
+		if prev, dup := seen[enc]; dup {
+			t.Fatalf("collision: %v and %v both encode to %q", prev, vals, enc)
+		}
+		seen[enc] = vals
+	}
+}
+
+func TestEncodeKeyMatchesAppendKey(t *testing.T) {
+	tup := Tuple{Int(7), Str("x"), Float(1.5), Null()}
+	cols := []int{3, 1, 0, 2}
+	want := AppendKey(nil, tup, cols)
+	if got := EncodeKey(tup, cols); got != string(want) {
+		t.Fatalf("EncodeKey = %q, want %q", got, want)
+	}
+}
+
+func TestDecodeKeyErrors(t *testing.T) {
+	bad := [][]byte{
+		{byte(KindInt), '1', '2'},        // unterminated int
+		{byte(KindFloat), '1', '.', '5'}, // unterminated float
+		{byte(KindInt), 'x', 0},          // junk int payload
+		{byte(KindString), 5, 'a'},       // short string frame
+		{250},                            // unknown kind tag
+		append([]byte{byte(KindInt)}, 0), // empty int payload
+	}
+	for _, enc := range bad {
+		if _, err := DecodeKey(enc); err == nil {
+			t.Errorf("DecodeKey(%v): expected error", enc)
+		}
+	}
+}
+
+// TestAppendKeyZeroAllocs pins the codec's steady-state allocation count
+// at zero when the caller reuses the destination buffer.
+func TestAppendKeyZeroAllocs(t *testing.T) {
+	tup := Tuple{Int(12345), Str("group-key"), Float(2.75)}
+	cols := Identity(3)
+	buf := make([]byte, 0, 64)
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = AppendKey(buf[:0], tup, cols)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendKey allocates %v per run, want 0", allocs)
+	}
+	if len(buf) == 0 {
+		t.Fatal("AppendKey produced nothing")
+	}
+}
+
+// TestAppendDecodedKeyReuse verifies the decode side supports buffer
+// reuse: decoding int/null payloads into a reused tuple is allocation-
+// free (float and string payloads necessarily materialize new storage).
+func TestAppendDecodedKeyReuse(t *testing.T) {
+	enc := AppendKeyAll(nil, Tuple{Int(5), Null(), Int(-9000000000)})
+	scratch := make(Tuple, 0, 8)
+	allocs := testing.AllocsPerRun(1000, func() {
+		var err error
+		scratch, err = AppendDecodedKey(scratch[:0], enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendDecodedKey allocates %v per run, want 0", allocs)
+	}
+	if !bytes.Equal(AppendKeyAll(nil, scratch), enc) {
+		t.Fatalf("decode mismatch: %v", scratch)
+	}
+}
+
+func TestAdaptInto(t *testing.T) {
+	from := NewSchema(
+		Column{Name: "a.x", Kind: KindInt},
+		Column{Name: "a.y", Kind: KindString},
+		Column{Name: "a.z", Kind: KindFloat},
+	)
+	to := NewSchema(
+		Column{Name: "a.z", Kind: KindFloat},
+		Column{Name: "a.x", Kind: KindInt},
+	)
+	ad, err := NewAdapter(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Tuple{Int(1), Str("s"), Float(9.5)}
+	scratch := make(Tuple, 0, 4)
+	out := ad.AdaptInto(scratch, in)
+	if len(out) != 2 || out[0].F != 9.5 || out[1].I != 1 {
+		t.Fatalf("AdaptInto = %v", out)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		scratch = ad.AdaptInto(scratch, in)
+	})
+	if allocs != 0 {
+		t.Fatalf("AdaptInto allocates %v per run with sufficient capacity, want 0", allocs)
+	}
+	// Undersized destination grows.
+	if got := ad.AdaptInto(nil, in); len(got) != 2 || got[0].F != 9.5 {
+		t.Fatalf("AdaptInto(nil) = %v", got)
+	}
+}

@@ -69,26 +69,11 @@ func CompareKey(a Tuple, acols []int, b Tuple, bcols []int) int {
 
 // EncodeKey renders the key columns into a string suitable for use as a Go
 // map key. Group-by operators use this for exact grouping (hash collisions
-// must not merge groups).
+// must not merge groups). It is a convenience wrapper over the AppendKey
+// byte codec; hot paths should call AppendKey with a reused buffer and use
+// the map[string(buf)] lookup idiom instead.
 func EncodeKey(t Tuple, cols []int) string {
-	var b strings.Builder
-	for i, c := range cols {
-		if i > 0 {
-			b.WriteByte(0)
-		}
-		v := t[c]
-		// Kind prefix keeps Int(1) and Str("1") distinct.
-		b.WriteByte(byte(v.K))
-		switch v.K {
-		case KindInt:
-			fmt.Fprintf(&b, "%d", v.I)
-		case KindFloat:
-			fmt.Fprintf(&b, "%g", v.F)
-		case KindString:
-			b.WriteString(v.S)
-		}
-	}
-	return b.String()
+	return string(AppendKey(nil, t, cols))
 }
 
 // Adapter permutes the attributes of tuples produced under one schema into
@@ -135,11 +120,22 @@ func (a *Adapter) IsIdentity() bool {
 // Adapt permutes one tuple. The result shares value payloads with the
 // input (no deep copy), matching Tukwila's pointer-vector design.
 func (a *Adapter) Adapt(t Tuple) Tuple {
-	out := make(Tuple, len(a.perm))
-	for i, p := range a.perm {
-		out[i] = t[p]
+	return a.AdaptInto(nil, t)
+}
+
+// AdaptInto permutes t into dst's storage, growing it only when its
+// capacity is insufficient, and returns the adapted tuple. Callers whose
+// consumers do not retain the tuple (e.g. aggregation absorption) pass the
+// same scratch buffer every call for allocation-free adaptation.
+func (a *Adapter) AdaptInto(dst, t Tuple) Tuple {
+	if cap(dst) < len(a.perm) {
+		dst = make(Tuple, len(a.perm))
 	}
-	return out
+	dst = dst[:len(a.perm)]
+	for i, p := range a.perm {
+		dst[i] = t[p]
+	}
+	return dst
 }
 
 // From and To expose the adapter's endpoint schemas.

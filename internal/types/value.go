@@ -7,7 +7,6 @@ package types
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strconv"
 	"strings"
@@ -203,10 +202,11 @@ func HashValue(h uint64, v Value) uint64 {
 
 // Hash returns a standalone hash of a single value.
 func Hash(v Value) uint64 {
-	h := fnv.New64a()
-	_ = h // fnv offset basis below
-	return HashValue(14695981039346656037, v)
+	return HashValue(fnvOffset, v)
 }
+
+// fnvOffset is the FNV-1a 64-bit offset basis.
+const fnvOffset = 14695981039346656037
 
 // HashInt is a normalization helper: integer-valued floats hash like ints.
 // Float hashing handles this internally; the helper exists for callers that
