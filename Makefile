@@ -1,12 +1,21 @@
-# Developer/CI entry points. `make ci` is the pre-commit smoke: vet,
-# build, full tests, and the perf microbenchmarks that track the batched
-# execution path's allocation budget.
+# Developer/CI entry points. `make ci` is the pre-commit smoke and the
+# GitHub Actions gate: formatting, vet, build, full tests, and the
+# allocation-budget gate over the perf microbenchmarks (which also leaves
+# the raw benchmark output in bench-perf.txt for archiving).
 
 GO ?= go
 
-.PHONY: all vet build test bench bench-perf ci
+.PHONY: all vet build test bench bench-perf check-fmt check-allocs ci
 
 all: ci
+
+check-fmt:
+	@files=$$(gofmt -l .); \
+	if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; \
+		echo "run: gofmt -w ."; \
+		exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -17,14 +26,19 @@ build:
 test:
 	$(GO) test ./...
 
-# Fast perf smoke: hash-probe and batched-push hot paths with allocation
-# reporting (these back the PR acceptance criteria).
+# Fast perf smoke: hash-probe, batched-push, and ordered merge-join hot
+# paths with allocation reporting (these back the PR acceptance criteria).
 bench-perf:
 	$(GO) test -run='^$$' -bench='BenchmarkHashTableProbe' -benchmem ./internal/state/
-	$(GO) test -run='^$$' -bench='BenchmarkPipelinedJoinPush|BenchmarkAggTableAbsorb' -benchmem ./internal/exec/
+	$(GO) test -run='^$$' -bench='BenchmarkPipelinedJoinPush|BenchmarkMergeJoinPush|BenchmarkAggTableAbsorb' -benchmem ./internal/exec/
+
+# Allocation-budget gate: runs bench-perf, parses allocs/op, fails on any
+# pinned-budget regression. Raw output lands in bench-perf.txt.
+check-allocs:
+	./scripts/check_allocs.sh bench-perf.txt
 
 # Full benchmark sweep (paper figures; slow).
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
 
-ci: vet build test bench-perf
+ci: check-fmt vet build test check-allocs

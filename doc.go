@@ -41,16 +41,22 @@
 //
 // # Batched push execution
 //
-// The execution engine is vectorized: every hot-path operator implements
-// BatchSink (PushBatch([]Tuple)) in addition to the tuple-at-a-time Sink —
-// HashJoin (both inputs, via LeftSink/RightSink), Filter, Project,
-// Combine, Queue, AggTable, Pseudogroup, and WindowPreAgg. The source
-// driver groups consecutive already-available tuples from the same source
-// into batches, and each lowered plan forwards batches end to end
-// (operators without a batch path degrade transparently to per-tuple
-// Push). Batching is purely an execution-efficiency layer: delivery
-// order, operator counters, and virtual-clock accounting are identical to
-// tuple-at-a-time execution.
+// The execution engine is vectorized end to end: every hot-path operator
+// implements BatchSink (PushBatch([]Tuple)) in addition to the
+// tuple-at-a-time Sink — HashJoin and MergeJoin (both inputs, via
+// LeftSink/RightSink), the ComplementaryJoin router (which groups
+// consecutive same-destination tuples into sub-batches for its merge and
+// hash components and batches the mini stitch-up's emits), Filter,
+// Project, Combine, Queue, AggTable, Pseudogroup, and WindowPreAgg; the
+// corrective stitch-up phase likewise delivers each combination's result
+// vector downstream in one call. The source driver groups consecutive
+// already-available tuples from the same source into batches, and each
+// lowered plan forwards batches end to end (operators without a batch
+// path degrade transparently to per-tuple Push). Batching is purely an
+// execution-efficiency layer: delivery order, operator counters, and
+// virtual-clock accounting are identical to tuple-at-a-time execution —
+// pinned by batch-vs-tuple equivalence tests with byte-identical output
+// order.
 //
 // Within a batch the engine is allocation-free at steady state: join keys
 // are hashed once and shared between build-insert and probe
@@ -59,6 +65,10 @@
 // encoding), and join/projection outputs are carved from slab arenas so a
 // pipeline segment performs amortized O(1) allocations per tuple instead
 // of several.
+//
+// Continuous integration (.github/workflows/ci.yml, scripts/
+// check_allocs.sh via make check-allocs) pins the hot paths' allocs/op
+// budgets on every push, so these batching wins cannot silently regress.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured results; cmd/adpbench regenerates every table and

@@ -56,8 +56,8 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 			[]int{ord.Schema.MustIndexOf("o_orderkey")},
 			pq, exec.SinkFunc(func(types.Tuple) { n++ }))
 		d := exec.NewDriver(ctx,
-			&exec.Leaf{Provider: source.NewProvider(li, nil), Push: cj.PushLeft},
-			&exec.Leaf{Provider: source.NewProvider(ord, nil), Push: cj.PushRight},
+			&exec.Leaf{Provider: source.NewProvider(li, nil), Push: cj.PushLeft, PushBatch: cj.PushLeftBatch},
+			&exec.Leaf{Provider: source.NewProvider(ord, nil), Push: cj.PushRight, PushBatch: cj.PushRightBatch},
 		)
 		d.Run(0, nil)
 		cj.Finish()

@@ -25,6 +25,25 @@ type CompJoinStats struct {
 	StitchOut        int64
 }
 
+// statSink counts component output tuples and forwards them (batches
+// included) to the pair's sink.
+type statSink struct {
+	n   *int64
+	out exec.Sink
+}
+
+// Push implements exec.Sink.
+func (s *statSink) Push(t types.Tuple) {
+	*s.n++
+	s.out.Push(t)
+}
+
+// PushBatch implements exec.BatchSink.
+func (s *statSink) PushBatch(ts []types.Tuple) {
+	*s.n += int64(len(ts))
+	exec.PushAll(s.out, ts)
+}
+
 // ComplementaryJoin is the complementary join pair of Figure 4: a merge
 // join and a pipelined hash join sharing four hash tables. A split
 // (router) operator sends each input tuple to the merge join when it
@@ -45,8 +64,17 @@ type ComplementaryJoin struct {
 	pqLeft  *tupleHeap
 	pqRight *tupleHeap
 
-	lastLeft  []types.Value // highest key sent to the merge join (left)
-	lastRight []types.Value
+	// lastLeft/lastRight are the highest-keyed tuples sent to the merge
+	// join (the router watermarks); retaining the tuple instead of a
+	// materialized key keeps routing allocation-free.
+	lastLeft  types.Tuple
+	lastRight types.Tuple
+
+	// routeScratch collects priority-queue evictions so a whole batch's
+	// evictions route as one stream.
+	routeScratch []types.Tuple
+	// stitchEm batches the mini stitch-up's emits.
+	stitchEm exec.BatchEmitter
 
 	Stats    CompJoinStats
 	finished bool
@@ -62,9 +90,9 @@ func NewComplementaryJoin(ctx *exec.Context, leftSchema, rightSchema *types.Sche
 		rightKey: rightKey,
 	}
 	c.merge = exec.NewMergeJoin(ctx, leftSchema, rightSchema, leftKey, rightKey,
-		exec.SinkFunc(func(t types.Tuple) { c.Stats.MergeOut++; out.Push(t) }))
+		&statSink{n: &c.Stats.MergeOut, out: out})
 	c.hash = exec.NewHashJoin(ctx, exec.Pipelined, leftSchema, rightSchema, leftKey, rightKey,
-		exec.SinkFunc(func(t types.Tuple) { c.Stats.HashOut++; out.Push(t) }))
+		&statSink{n: &c.Stats.HashOut, out: out})
 	if pqCap > 0 {
 		c.pqLeft = newTupleHeap(leftKey, pqCap)
 		c.pqRight = newTupleHeap(rightKey, pqCap)
@@ -97,31 +125,121 @@ func (c *ComplementaryJoin) PushRight(t types.Tuple) {
 	c.routeRight(t)
 }
 
-func (c *ComplementaryJoin) routeLeft(t types.Tuple) {
-	k := keyOf(t, c.leftKey)
+// PushLeftBatch routes a batch of left-input tuples: consecutive tuples
+// bound for the same component are delivered to it as one sub-batch, so
+// both components run their vectorized paths while the pair's output
+// order stays identical to routing tuple-at-a-time. The batch slice is
+// not retained.
+func (c *ComplementaryJoin) PushLeftBatch(ts []types.Tuple) {
+	if c.pqLeft != nil {
+		c.routeScratch = c.routeScratch[:0]
+		for _, t := range ts {
+			if evicted, ok := c.pqLeft.offer(t); ok {
+				c.routeScratch = append(c.routeScratch, evicted)
+			}
+		}
+		ts = c.routeScratch
+	}
+	c.routeRun(ts, true)
+}
+
+// PushRightBatch is the right-input mirror of PushLeftBatch.
+func (c *ComplementaryJoin) PushRightBatch(ts []types.Tuple) {
+	if c.pqRight != nil {
+		c.routeScratch = c.routeScratch[:0]
+		for _, t := range ts {
+			if evicted, ok := c.pqRight.offer(t); ok {
+				c.routeScratch = append(c.routeScratch, evicted)
+			}
+		}
+		ts = c.routeScratch
+	}
+	c.routeRun(ts, false)
+}
+
+// classifyLeft makes the router decision for one left tuple — true routes
+// to the merge join — charging the comparison and updating the watermark
+// and routing statistics.
+func (c *ComplementaryJoin) classifyLeft(t types.Tuple) bool {
 	c.ctx.Clock.Charge(c.ctx.Cost.Compare)
-	if c.lastLeft == nil || cmpVals2(c.lastLeft, k) <= 0 {
-		c.lastLeft = k
+	if c.lastLeft == nil || types.CompareKey(c.lastLeft, c.leftKey, t, c.leftKey) <= 0 {
+		c.lastLeft = t
 		c.Stats.MergeRoutedLeft++
+		return true
+	}
+	c.Stats.HashRoutedLeft++
+	return false
+}
+
+// classifyRight is the right-input mirror of classifyLeft.
+func (c *ComplementaryJoin) classifyRight(t types.Tuple) bool {
+	c.ctx.Clock.Charge(c.ctx.Cost.Compare)
+	if c.lastRight == nil || types.CompareKey(c.lastRight, c.rightKey, t, c.rightKey) <= 0 {
+		c.lastRight = t
+		c.Stats.MergeRoutedRight++
+		return true
+	}
+	c.Stats.HashRoutedRight++
+	return false
+}
+
+func (c *ComplementaryJoin) routeLeft(t types.Tuple) {
+	if c.classifyLeft(t) {
 		// The router guarantees order, so the error path is unreachable.
 		_ = c.merge.PushLeft(t)
 		return
 	}
-	c.Stats.HashRoutedLeft++
 	c.hash.PushLeft(t)
 }
 
 func (c *ComplementaryJoin) routeRight(t types.Tuple) {
-	k := keyOf(t, c.rightKey)
-	c.ctx.Clock.Charge(c.ctx.Cost.Compare)
-	if c.lastRight == nil || cmpVals2(c.lastRight, k) <= 0 {
-		c.lastRight = k
-		c.Stats.MergeRoutedRight++
+	if c.classifyRight(t) {
 		_ = c.merge.PushRight(t)
 		return
 	}
-	c.Stats.HashRoutedRight++
 	c.hash.PushRight(t)
+}
+
+// routeRun routes an ordered stream of tuples, grouping consecutive
+// same-destination tuples into sub-batches. Classification only touches
+// the watermark, never the components, so classifying a run ahead of
+// delivering it leaves every routing decision — and therefore the output
+// sequence — identical to the tuple-at-a-time router.
+func (c *ComplementaryJoin) routeRun(ts []types.Tuple, left bool) {
+	deliver := func(run []types.Tuple, toMerge bool) {
+		if len(run) == 0 {
+			return
+		}
+		switch {
+		case toMerge && left:
+			// In-order by the watermark invariant: the error path is
+			// unreachable.
+			_ = c.merge.PushLeftBatch(run)
+		case toMerge:
+			_ = c.merge.PushRightBatch(run)
+		case left:
+			c.hash.PushLeftBatch(run)
+		default:
+			c.hash.PushRightBatch(run)
+		}
+	}
+	classify := c.classifyRight
+	if left {
+		classify = c.classifyLeft
+	}
+	start, toMerge := 0, false
+	for i, t := range ts {
+		m := classify(t)
+		if i == 0 {
+			toMerge = m
+			continue
+		}
+		if m != toMerge {
+			deliver(ts[start:i], toMerge)
+			start, toMerge = i, m
+		}
+	}
+	deliver(ts[start:], toMerge)
 }
 
 // Finish drains the reorder buffers, closes both joins, and performs the
@@ -133,10 +251,14 @@ func (c *ComplementaryJoin) Finish() {
 	}
 	c.finished = true
 	if c.pqLeft != nil {
-		c.pqLeft.drain(c.routeLeft)
+		c.routeScratch = c.routeScratch[:0]
+		c.pqLeft.drain(func(t types.Tuple) { c.routeScratch = append(c.routeScratch, t) })
+		c.routeRun(c.routeScratch, true)
 	}
 	if c.pqRight != nil {
-		c.pqRight.drain(c.routeRight)
+		c.routeScratch = c.routeScratch[:0]
+		c.pqRight.drain(func(t types.Tuple) { c.routeScratch = append(c.routeScratch, t) })
+		c.routeRun(c.routeScratch, false)
 	}
 	c.merge.FinishLeft()
 	c.merge.FinishRight()
@@ -152,15 +274,18 @@ func (c *ComplementaryJoin) Finish() {
 // stitch cross-joins a left-side table against a right-side table,
 // scanning the smaller and probing the larger. Probes go through the
 // hashed fast path with a reused key buffer when the probed structure
-// advertises it (both sides are hash tables in the complementary pair).
+// advertises it (both sides are hash tables in the complementary pair),
+// and emits are batched through the emitter so downstream receives whole
+// result vectors.
 func (c *ComplementaryJoin) stitch(left, right state.Keyed) {
 	if left.Len() == 0 || right.Len() == 0 {
 		return
 	}
+	c.stitchEm.Begin()
 	emit := func(lt, rt types.Tuple) {
 		c.ctx.Clock.Charge(c.ctx.Cost.Move)
 		c.Stats.StitchOut++
-		c.out.Push(lt.Concat(rt))
+		c.stitchEm.EmitConcat(c.out, lt, rt)
 	}
 	probe := func(table state.Keyed, key types.Tuple, fn func(types.Tuple) bool) {
 		if hp, ok := table.(state.HashedProber); ok {
@@ -198,23 +323,7 @@ func (c *ComplementaryJoin) stitch(left, right state.Keyed) {
 			return true
 		})
 	}
-}
-
-func keyOf(t types.Tuple, cols []int) []types.Value {
-	out := make([]types.Value, len(cols))
-	for i, c := range cols {
-		out[i] = t[c]
-	}
-	return out
-}
-
-func cmpVals2(a, b []types.Value) int {
-	for i := range a {
-		if c := types.Compare(a[i], b[i]); c != 0 {
-			return c
-		}
-	}
-	return 0
+	c.stitchEm.Flush(c.out)
 }
 
 // tupleHeap is a bounded min-heap keyed on tuple columns: the priority

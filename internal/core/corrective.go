@@ -387,9 +387,7 @@ func (ex *executor) runPhase(root algebra.Plan) (exhausted bool, next algebra.Pl
 		}
 		if entryBatch, ok := tree.EntryBatch[rel.Name]; ok {
 			leaf.PushBatch = func(ts []types.Tuple) {
-				for _, t := range ts {
-					part.Insert(t)
-				}
+				part.InsertBatch(ts)
 				phasePassed[rel.Name] += float64(len(ts))
 				entryBatch(ts)
 			}
@@ -644,13 +642,18 @@ func (ex *executor) stitchUp() error {
 			return nil
 		}
 	}
-	s, err := NewStitchUp(ex.ctx, ex.q, ex.phases, exec.SinkFunc(func(t types.Tuple) { sink.Push(t) }))
+	// The output sink depends on the stitch-up's fold-order schema, so it
+	// is bound after construction; the forwarder keeps the batch path
+	// intact end to end.
+	fwd := &forwardSink{}
+	s, err := NewStitchUp(ex.ctx, ex.q, ex.phases, fwd)
 	if err != nil {
 		return err
 	}
 	if err := prep(s); err != nil {
 		return err
 	}
+	fwd.out = sink
 	s.DisableReuse = ex.o.DisableStitchReuse
 	if err := s.Run(); err != nil {
 		return err

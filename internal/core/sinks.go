@@ -35,6 +35,20 @@ func (s *aggSink) PushBatch(ts []types.Tuple) {
 	}
 }
 
+// forwardSink forwards tuples and batches to a late-bound downstream sink
+// (the stitch-up output is constructed before its schema-dependent
+// destination exists). Batches pass through PushAll so the downstream
+// sink's vectorized path is preserved.
+type forwardSink struct {
+	out exec.Sink
+}
+
+// Push implements exec.Sink.
+func (f *forwardSink) Push(t types.Tuple) { f.out.Push(t) }
+
+// PushBatch implements exec.BatchSink.
+func (f *forwardSink) PushBatch(ts []types.Tuple) { exec.PushAll(f.out, ts) }
+
 // listSink materializes tuples into a state structure, charging one Move
 // per tuple (a materialization write).
 type listSink struct {
@@ -48,11 +62,13 @@ func (s *listSink) Push(t types.Tuple) {
 	s.dst.Insert(t)
 }
 
-// PushBatch implements exec.BatchSink.
+// PushBatch implements exec.BatchSink: one bulk append after the
+// per-tuple Move charges.
 func (s *listSink) PushBatch(ts []types.Tuple) {
-	for _, t := range ts {
-		s.Push(t)
+	for range ts {
+		s.ctx.Clock.Charge(s.ctx.Cost.Move)
 	}
+	s.dst.InsertBatch(ts)
 }
 
 // collectSink adapts and appends result tuples to a slice (the SPJ result

@@ -226,10 +226,16 @@ func (s *StitchUp) Run() error {
 				return false
 			}
 		}
-		for _, t := range results[m-1].rows {
+		// Batched emit: the combination's result vector is delivered
+		// downstream in one call (per-tuple Move charges are preserved, and
+		// delivery order equals the per-tuple emit order).
+		rows := results[m-1].rows
+		for range rows {
 			s.ctx.Clock.Charge(s.ctx.Cost.Move)
-			s.Emitted++
-			s.out.Push(t)
+		}
+		s.Emitted += int64(len(rows))
+		if len(rows) > 0 {
+			exec.PushAll(s.out, rows)
 		}
 		return true
 	})

@@ -101,9 +101,7 @@ func (s *teeSink) Push(t types.Tuple) {
 
 // PushBatch implements exec.BatchSink.
 func (s *teeSink) PushBatch(ts []types.Tuple) {
-	for _, t := range ts {
-		s.buf.Insert(t)
-	}
+	s.buf.InsertBatch(ts)
 	exec.PushAll(s.out, ts)
 }
 

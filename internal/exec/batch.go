@@ -74,3 +74,52 @@ func (a *valueArena) concat(lt, rt types.Tuple) types.Tuple {
 	copy(out[len(lt):], rt)
 	return out
 }
+
+// emitFlushLen caps how many buffered outputs a BatchEmitter accumulates
+// before delivering them downstream mid-batch, bounding memory on highly
+// multiplicative joins without changing delivery order.
+const emitFlushLen = 1024
+
+// BatchEmitter is the shared emit machinery of the join-shaped operators
+// (HashJoin, MergeJoin, the complementary pair's mini stitch-up): between
+// Begin and Flush, concatenated outputs are carved from a slab arena and
+// buffered so a whole batch's results reach the downstream sink in one
+// PushAll; outside a batch, EmitConcat degrades to a per-tuple Push of a
+// freshly allocated concatenation. Delivery order is always the emit
+// order.
+type BatchEmitter struct {
+	active bool
+	buf    []types.Tuple
+	arena  valueArena
+}
+
+// Begin switches emits to the buffered arena path.
+func (e *BatchEmitter) Begin() { e.active = true }
+
+// EmitConcat emits lt ++ rt.
+func (e *BatchEmitter) EmitConcat(out Sink, lt, rt types.Tuple) {
+	if !e.active {
+		out.Push(lt.Concat(rt))
+		return
+	}
+	e.buf = append(e.buf, e.arena.concat(lt, rt))
+	if len(e.buf) >= emitFlushLen {
+		e.deliver(out)
+	}
+}
+
+// Flush ends the batch, delivering any buffered outputs downstream.
+func (e *BatchEmitter) Flush(out Sink) {
+	e.active = false
+	if len(e.buf) > 0 {
+		e.deliver(out)
+	}
+}
+
+// deliver hands the buffer downstream and clears it before reuse so it
+// does not pin arena-backed results downstream has already dropped.
+func (e *BatchEmitter) deliver(out Sink) {
+	PushAll(out, e.buf)
+	clear(e.buf)
+	e.buf = e.buf[:0]
+}

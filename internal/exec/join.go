@@ -78,13 +78,11 @@ type HashJoin struct {
 	leftDone      bool
 	rightDone     bool
 
-	// Batched-execution scratch: the reused probe-key buffer, the output
-	// buffer a batch's emits accumulate into before one downstream
-	// delivery, and the arena join results are carved from.
+	// Batched-execution scratch: the reused probe-key buffer and the
+	// emitter a batch's outputs accumulate into before one downstream
+	// delivery.
 	keyScratch types.Tuple
-	outBuf     []types.Tuple
-	batching   bool
-	arena      valueArena
+	em         BatchEmitter
 
 	counters stats.OpCounters
 }
@@ -270,20 +268,10 @@ func (j *HashJoin) PushRightBatch(ts []types.Tuple) {
 }
 
 // beginBatch switches emits to the arena + output-buffer path.
-func (j *HashJoin) beginBatch() { j.batching = true }
+func (j *HashJoin) beginBatch() { j.em.Begin() }
 
-// endBatch delivers the accumulated outputs downstream in one call. The
-// buffer is cleared before reuse so it does not pin arena-backed results
-// downstream has already dropped.
-func (j *HashJoin) endBatch() {
-	j.batching = false
-	if len(j.outBuf) == 0 {
-		return
-	}
-	PushAll(j.out, j.outBuf)
-	clear(j.outBuf)
-	j.outBuf = j.outBuf[:0]
-}
+// endBatch delivers the accumulated outputs downstream in one call.
+func (j *HashJoin) endBatch() { j.em.Flush(j.out) }
 
 // keyFor extracts t's key columns into the reused scratch buffer. The
 // result is only valid until the next keyFor call; probe callees do not
@@ -397,11 +385,7 @@ func (j *HashJoin) scanLeft(rt types.Tuple) {
 func (j *HashJoin) emit(lt, rt types.Tuple) {
 	j.ctx.Clock.Charge(j.ctx.Cost.Move)
 	j.counters.Out++
-	if j.batching {
-		j.outBuf = append(j.outBuf, j.arena.concat(lt, rt))
-		return
-	}
-	j.out.Push(lt.Concat(rt))
+	j.em.EmitConcat(j.out, lt, rt)
 }
 
 // FinishLeft signals end of the left input.

@@ -9,55 +9,76 @@ import (
 )
 
 // mergeGroup is a closed run of equal-key tuples on one merge-join input.
+// The group's key is implied by its rows: every row shares it, so
+// comparisons go through rows[0] and the side's key columns instead of a
+// materialized key slice.
 type mergeGroup struct {
-	key  []types.Value
 	rows []types.Tuple
+}
+
+// groupSlab is the tuple-slice arena slab size for group storage.
+const groupSlab = 1024
+
+// tupleArena carves single-tuple group storage out of large slabs: in the
+// common (mostly-unique-key) case every group holds exactly one row, so
+// group creation costs one allocation per slab instead of one per group.
+// A group that grows past its first row reallocates onto the heap (the
+// arena slice is capacity-capped, so the append cannot clobber a
+// neighbour).
+type tupleArena struct {
+	slab []types.Tuple
+}
+
+func (a *tupleArena) one(t types.Tuple) []types.Tuple {
+	if cap(a.slab)-len(a.slab) < 1 {
+		a.slab = make([]types.Tuple, 0, groupSlab)
+	}
+	off := len(a.slab)
+	a.slab = a.slab[:off+1]
+	s := a.slab[off : off+1 : off+1]
+	s[0] = t
+	return s
 }
 
 // mergeSide is one input of the merge join: an open (still growing) group
 // plus a FIFO of closed groups ready to match.
 type mergeSide struct {
 	keyCols []int
-	open    *mergeGroup
+	open    mergeGroup
+	hasOpen bool
 	ready   []mergeGroup
 	done    bool
+	arena   tupleArena
 	table   *state.HashTable // consumed tuples, kept for mini stitch-up
 }
 
-func (s *mergeSide) push(t types.Tuple, keyOf func(types.Tuple) []types.Value) error {
-	k := keyOf(t)
-	if s.open == nil {
-		s.open = &mergeGroup{key: k, rows: []types.Tuple{t}}
+func (s *mergeSide) push(t types.Tuple) error {
+	if !s.hasOpen {
+		s.open = mergeGroup{rows: s.arena.one(t)}
+		s.hasOpen = true
 		return nil
 	}
-	c := cmpVals(s.open.key, k)
+	c := types.CompareKey(s.open.rows[0], s.keyCols, t, s.keyCols)
 	switch {
 	case c == 0:
 		s.open.rows = append(s.open.rows, t)
 	case c < 0:
-		s.ready = append(s.ready, *s.open)
-		s.open = &mergeGroup{key: k, rows: []types.Tuple{t}}
+		s.ready = append(s.ready, s.open)
+		s.open = mergeGroup{rows: s.arena.one(t)}
 	default:
-		return fmt.Errorf("exec: merge join received out-of-order tuple (key %v after %v)", k, s.open.key)
+		return fmt.Errorf("exec: merge join received out-of-order tuple (key %v after %v)",
+			keyValues(t, s.keyCols), keyValues(s.open.rows[0], s.keyCols))
 	}
 	return nil
 }
 
 func (s *mergeSide) finish() {
 	s.done = true
-	if s.open != nil {
-		s.ready = append(s.ready, *s.open)
-		s.open = nil
+	if s.hasOpen {
+		s.ready = append(s.ready, s.open)
+		s.open = mergeGroup{}
+		s.hasOpen = false
 	}
-}
-
-func cmpVals(a, b []types.Value) int {
-	for i := range a {
-		if c := types.Compare(a[i], b[i]); c != 0 {
-			return c
-		}
-	}
-	return 0
 }
 
 // MergeJoin is a streaming merge join over two key-ordered inputs — the
@@ -72,6 +93,7 @@ type MergeJoin struct {
 	right  mergeSide
 	schema *types.Schema
 
+	em       BatchEmitter
 	counters stats.OpCounters
 }
 
@@ -105,7 +127,7 @@ func (m *MergeJoin) PushLeft(t types.Tuple) error {
 	m.counters.InLeft++
 	m.left.table.Insert(t)
 	m.ctx.Clock.Charge(m.ctx.Cost.HashInsert)
-	if err := m.left.push(t, func(t types.Tuple) []types.Value { return keyValues(t, m.left.keyCols) }); err != nil {
+	if err := m.left.push(t); err != nil {
 		return err
 	}
 	m.advance()
@@ -118,12 +140,100 @@ func (m *MergeJoin) PushRight(t types.Tuple) error {
 	m.counters.InRight++
 	m.right.table.Insert(t)
 	m.ctx.Clock.Charge(m.ctx.Cost.HashInsert)
-	if err := m.right.push(t, func(t types.Tuple) []types.Value { return keyValues(t, m.right.keyCols) }); err != nil {
+	if err := m.right.push(t); err != nil {
 		return err
 	}
 	m.advance()
 	return nil
 }
+
+// PushLeftBatch feeds a batch of in-order tuples to the left input. Each
+// tuple's key is hashed once for the local-table insert, and the batch's
+// join outputs are carved from the emitter's arena and delivered
+// downstream in one call. Counters, virtual-clock charges, output order,
+// and error handling are identical to pushing the tuples one at a time:
+// an out-of-order tuple is rejected individually (it is still stored in
+// the local table, as PushLeft does) and processing continues with the
+// rest of the batch; the first error is returned. The batch slice is not
+// retained.
+func (m *MergeJoin) PushLeftBatch(ts []types.Tuple) error {
+	m.em.Begin()
+	err := m.pushBatch(&m.left, &m.counters.InLeft, ts)
+	m.em.Flush(m.out)
+	return err
+}
+
+// PushRightBatch feeds a batch of in-order tuples to the right input.
+func (m *MergeJoin) PushRightBatch(ts []types.Tuple) error {
+	m.em.Begin()
+	err := m.pushBatch(&m.right, &m.counters.InRight, ts)
+	m.em.Flush(m.out)
+	return err
+}
+
+// pushBatch is the shared batch entry: per tuple it mirrors PushLeft/
+// PushRight exactly (insert, charge, group accounting, advance, and
+// per-tuple rejection of out-of-order arrivals) so the only difference
+// from the tuple path is the buffered delivery.
+func (m *MergeJoin) pushBatch(side *mergeSide, inSide *int64, ts []types.Tuple) error {
+	var firstErr error
+	for _, t := range ts {
+		m.counters.In++
+		*inSide++
+		side.table.InsertHashed(t.HashKey(side.keyCols), t)
+		m.ctx.Clock.Charge(m.ctx.Cost.HashInsert)
+		if err := side.push(t); err != nil {
+			// Match the tuple path: the offending tuple is dropped from the
+			// merge (its table insert stands) and later tuples still flow.
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		m.advance()
+	}
+	return firstErr
+}
+
+// mergeSideSink exposes one input of a MergeJoin as a (batch-capable)
+// sink. The Sink interface has no error channel and an out-of-order push
+// is a routing bug by the merge join's contract, so a caller wiring a
+// merge join behind a sink MUST guarantee order — a violation panics
+// rather than silently dropping rows from the join.
+type mergeSideSink struct {
+	m    *MergeJoin
+	left bool
+}
+
+func (s mergeSideSink) check(err error) {
+	if err != nil {
+		panic("exec: out-of-order push through MergeJoin sink: " + err.Error())
+	}
+}
+
+// Push implements Sink.
+func (s mergeSideSink) Push(t types.Tuple) {
+	if s.left {
+		s.check(s.m.PushLeft(t))
+	} else {
+		s.check(s.m.PushRight(t))
+	}
+}
+
+// PushBatch implements BatchSink.
+func (s mergeSideSink) PushBatch(ts []types.Tuple) {
+	if s.left {
+		s.check(s.m.PushLeftBatch(ts))
+	} else {
+		s.check(s.m.PushRightBatch(ts))
+	}
+}
+
+// LeftSink returns the join's left input as a batch-capable sink.
+func (m *MergeJoin) LeftSink() Sink { return mergeSideSink{m: m, left: true} }
+
+// RightSink returns the join's right input as a batch-capable sink.
+func (m *MergeJoin) RightSink() Sink { return mergeSideSink{m: m, left: false} }
 
 // FinishLeft closes the left input.
 func (m *MergeJoin) FinishLeft() {
@@ -137,6 +247,13 @@ func (m *MergeJoin) FinishRight() {
 	m.advance()
 }
 
+// emit delivers one joined tuple (buffered during a batch).
+func (m *MergeJoin) emit(lt, rt types.Tuple) {
+	m.ctx.Clock.Charge(m.ctx.Cost.Move)
+	m.counters.Out++
+	m.em.EmitConcat(m.out, lt, rt)
+}
+
 // canPop reports whether the head ready group of side s is safe to match:
 // no smaller-or-equal key can still arrive on the other side... it is safe
 // when the other side has a ready group to compare against, or is done.
@@ -147,14 +264,12 @@ func (m *MergeJoin) advance() {
 		case lHas && rHas:
 			lg, rg := &m.left.ready[0], &m.right.ready[0]
 			m.ctx.Clock.Charge(m.ctx.Cost.Compare)
-			c := cmpVals(lg.key, rg.key)
+			c := types.CompareKey(lg.rows[0], m.left.keyCols, rg.rows[0], m.right.keyCols)
 			switch {
 			case c == 0:
 				for _, lt := range lg.rows {
 					for _, rt := range rg.rows {
-						m.ctx.Clock.Charge(m.ctx.Cost.Move)
-						m.counters.Out++
-						m.out.Push(lt.Concat(rt))
+						m.emit(lt, rt)
 					}
 				}
 				m.left.ready = m.left.ready[1:]

@@ -40,6 +40,49 @@ func BenchmarkPipelinedJoinPush(b *testing.B) {
 	})
 }
 
+// BenchmarkMergeJoinPush compares tuple-at-a-time vs batched push through
+// the ordered merge join — the hot path of the complementary pair when
+// source data arrives (mostly) sorted. The batch path shares one hash per
+// insert and amortizes emit allocations in the arena.
+func BenchmarkMergeJoinPush(b *testing.B) {
+	const batch = 64
+	run := func(b *testing.B, batched bool) {
+		// Ascending unique keys both sides: every push closes a group and
+		// the join streams 1:1 matches.
+		ls := make([]types.Tuple, b.N)
+		rs := make([]types.Tuple, b.N)
+		for i := 0; i < b.N; i++ {
+			ls[i] = rRow(int64(i), int64(i))
+			rs[i] = sRow(int64(i), int64(i))
+		}
+		m := NewMergeJoin(NewContext(), rSchema, sSchema, []int{0}, []int{0}, Discard)
+		b.ReportAllocs()
+		b.ResetTimer()
+		if batched {
+			for i := 0; i < b.N; i += batch {
+				end := min(i+batch, b.N)
+				if err := m.PushLeftBatch(ls[i:end]); err != nil {
+					b.Fatal(err)
+				}
+				if err := m.PushRightBatch(rs[i:end]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		} else {
+			for i := 0; i < b.N; i++ {
+				if err := m.PushLeft(ls[i]); err != nil {
+					b.Fatal(err)
+				}
+				if err := m.PushRight(rs[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("tuple-at-a-time", func(b *testing.B) { run(b, false) })
+	b.Run("batch", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkAggTableAbsorb tracks the group-by absorption hot path (byte
 // key codec + map[string(buf)] lookup; zero steady-state allocations once
 // all groups exist).

@@ -98,6 +98,50 @@ func TestHashOverSortedProbeHashedZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestListInsertBatchAmortizedAllocs pins the bulk-append path the
+// batched tee/leaf sinks use: appending a 64-tuple batch costs at most
+// one (amortized) allocation — the backing-array growth — never
+// per-tuple.
+func TestListInsertBatchAmortizedAllocs(t *testing.T) {
+	schema := types.NewSchema(types.Column{Name: "t.k", Kind: types.KindInt})
+	l := NewList(schema)
+	batch := make([]types.Tuple, 64)
+	for i := range batch {
+		batch[i] = types.Tuple{types.Int(int64(i))}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		l.InsertBatch(batch)
+	})
+	if allocs > 1 {
+		t.Fatalf("InsertBatch allocates %v per 64-tuple batch, want <= 1 amortized", allocs)
+	}
+}
+
+// TestInsertHashedAmortizedAllocs pins the build-side insert the batched
+// MergeJoin/HashJoin paths use (hash computed once by the caller): at
+// steady state the entry append plus occasional grow() must stay at or
+// under one allocation per insert on average.
+func TestInsertHashedAmortizedAllocs(t *testing.T) {
+	schema := types.NewSchema(
+		types.Column{Name: "t.k", Kind: types.KindInt},
+		types.Column{Name: "t.v", Kind: types.KindInt},
+	)
+	h := NewHashTable(schema, []int{0})
+	rows := make([]types.Tuple, 1<<14)
+	for i := range rows {
+		rows[i] = types.Tuple{types.Int(int64(i % 512)), types.Int(int64(i))}
+	}
+	n := 0
+	allocs := testing.AllocsPerRun(len(rows)-1, func() {
+		tp := rows[n%len(rows)]
+		h.InsertHashed(tp.HashKey([]int{0}), tp)
+		n++
+	})
+	if allocs > 1 {
+		t.Fatalf("InsertHashed allocates %v per insert, want <= 1 amortized", allocs)
+	}
+}
+
 // TestInsertHashedMatchesInsert verifies the hashed insert and the grow()
 // re-bucketing agree with the plain path: every inserted tuple remains
 // probe-able and counts match.

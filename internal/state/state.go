@@ -75,6 +75,11 @@ func NewList(schema *types.Schema) *List { return &List{schema: schema} }
 // Insert implements Structure.
 func (l *List) Insert(t types.Tuple) { l.rows = append(l.rows, t) }
 
+// InsertBatch bulk-appends a batch of tuples — the vectorized counterpart
+// of Insert used by batched sinks (leaf partition capture, join-result
+// tees). Only the tuples are retained, never the batch slice itself.
+func (l *List) InsertBatch(ts []types.Tuple) { l.rows = append(l.rows, ts...) }
+
 // Len implements Structure.
 func (l *List) Len() int { return len(l.rows) }
 

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Allocation-budget gate: runs the perf microbenchmarks (make bench-perf)
+# and fails when any pinned allocs/op budget regresses. The raw benchmark
+# output is written to the file named by the first argument (default
+# bench-perf.txt) so CI can archive it for the perf trajectory.
+#
+# Usage: scripts/check_allocs.sh [out-file]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-bench-perf.txt}"
+make bench-perf | tee "$out"
+
+fail=0
+
+# check <benchmark-name-regex> <max-allocs-per-op>
+# Takes the WORST (max) allocs/op among matching result lines, so a
+# regression in any sub-benchmark trips the gate.
+check() {
+  local pattern="$1" budget="$2" worst
+  worst=$(awk -v pat="$pattern" '$1 ~ pat {
+      for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
+    }' "$out" | sort -n | tail -1)
+  if [ -z "${worst}" ]; then
+    echo "check-allocs: FAIL: no benchmark result matched '$pattern'" >&2
+    fail=1
+    return
+  fi
+  if [ "$worst" -gt "$budget" ]; then
+    echo "check-allocs: FAIL: $pattern = $worst allocs/op, budget $budget" >&2
+    fail=1
+  else
+    echo "check-allocs: ok:   $pattern = $worst allocs/op (budget $budget)"
+  fi
+}
+
+# Pinned budgets (see ROADMAP.md / PR history). An op in the push
+# benchmarks delivers one tuple per side.
+check 'BenchmarkHashTableProbe'           0   # both probe variants: allocation-free
+check 'BenchmarkPipelinedJoinPush/batch'  2   # PR 1 headline: batched push <= 2 allocs/op
+check 'BenchmarkMergeJoinPush/batch'      4   # PR 2: batched ordered merge join
+check 'BenchmarkAggTableAbsorb'           1   # group-by absorb: zero steady-state (1 = headroom)
+
+if [ "$fail" -ne 0 ]; then
+  echo "check-allocs: allocation budgets regressed" >&2
+  exit 1
+fi
+echo "check-allocs: all allocation budgets hold"
