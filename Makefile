@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test bench bench-perf check-fmt check-allocs ci
+.PHONY: all vet build test bench bench-perf check-fmt check-allocs fuzz-short ci
 
 all: ci
 
@@ -26,11 +26,18 @@ build:
 test:
 	$(GO) test ./...
 
-# Fast perf smoke: hash-probe, batched-push, and ordered merge-join hot
-# paths with allocation reporting (these back the PR acceptance criteria).
+# Fast perf smoke: hash-probe, batched/columnar-push, vectorized key
+# hashing, and ordered merge-join hot paths with allocation reporting
+# (these back the PR acceptance criteria).
 bench-perf:
 	$(GO) test -run='^$$' -bench='BenchmarkHashTableProbe' -benchmem ./internal/state/
-	$(GO) test -run='^$$' -bench='BenchmarkPipelinedJoinPush|BenchmarkMergeJoinPush|BenchmarkAggTableAbsorb' -benchmem ./internal/exec/
+	$(GO) test -run='^$$' -bench='BenchmarkPipelinedJoinPush|BenchmarkMergeJoinPush|BenchmarkAggTableAbsorb|BenchmarkHashKeys' -benchmem ./internal/exec/
+
+# Short fixed-duration fuzzing of the key codec (the go-native fuzz
+# targets; each -fuzz invocation accepts a single target).
+fuzz-short:
+	$(GO) test -run='^$$' -fuzz='^FuzzKeyCodecRoundTrip$$' -fuzztime=5s ./internal/types/
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeKeyArbitrary$$' -fuzztime=5s ./internal/types/
 
 # Allocation-budget gate: runs bench-perf, parses allocs/op, fails on any
 # pinned-budget regression. Raw output lands in bench-perf.txt.
@@ -41,4 +48,4 @@ check-allocs:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
 
-ci: check-fmt vet build test check-allocs
+ci: check-fmt vet build test fuzz-short check-allocs

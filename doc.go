@@ -66,6 +66,24 @@
 // pipeline segment performs amortized O(1) allocations per tuple instead
 // of several.
 //
+// # Columnar batches
+//
+// On top of row batches, the engine speaks a columnar (struct-of-arrays)
+// layout: types.ColBatch stores a batch as per-column value arrays, and
+// operators that profit implement ColBatchSink (PushColBatch) — HashJoin,
+// AggTable, Filter, Project (zero-copy column aliasing via
+// Adapter.AdaptCols), and Combine — with automatic row-batch fallback for
+// everything else. The key machinery is vectorized over this layout:
+// types.HashKeys folds a batch's key columns column-at-a-time into one
+// reused hash vector (zero allocations), state.HashTable consumes that
+// vector via InsertHashedBatch and the ProbeHashedBatch probe driver, and
+// AggTable routes groups by hash plus strict value identity
+// (types.StrictEqual) instead of per-row key encoding. The source driver
+// prefers a leaf's columnar entry when the lowered plan exposes one
+// (Tree.EntryCol). Columnar delivery is, like row batching, semantically
+// invisible: tuple/rows/columnar equivalence tests pin byte-identical
+// output order and identical counters.
+//
 // Continuous integration (.github/workflows/ci.yml, scripts/
 // check_allocs.sh via make check-allocs) pins the hot paths' allocs/op
 // budgets on every push, so these batching wins cannot silently regress.

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"github.com/tukwila/adp/internal/core"
 	"github.com/tukwila/adp/internal/exec"
@@ -68,6 +69,39 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 			Setting:    fmt.Sprintf("%d", pq),
 			Seconds:    ctx.Clock.Now,
 			Detail:     fmt.Sprintf("merge-routed=%.1f%% out=%d", mergeFrac*100, n),
+		})
+	}
+
+	// 2b. Batch layout: tuple-at-a-time vs row batches vs columnar
+	// (struct-of-arrays) delivery of the pipelined hash join. Virtual
+	// seconds must coincide (the layouts are semantically identical);
+	// Detail reports real wall clock, where batching beats per-tuple
+	// delivery and the columnar path trades a driver-side transpose for
+	// vectorized key kernels (a wash on this narrow two-column schema).
+	for _, layout := range []string{"tuple", "rows", "columnar"} {
+		ctx := exec.NewContext()
+		var n int64
+		j := exec.NewHashJoin(ctx, exec.Pipelined, uni.Lineitem.Schema, uni.Orders.Schema,
+			[]int{uni.Lineitem.Schema.MustIndexOf("l_orderkey")},
+			[]int{uni.Orders.Schema.MustIndexOf("o_orderkey")},
+			exec.SinkFunc(func(types.Tuple) { n++ }))
+		ll := &exec.Leaf{Provider: source.NewProvider(uni.Lineitem, nil), Push: j.PushLeft}
+		ol := &exec.Leaf{Provider: source.NewProvider(uni.Orders, nil), Push: j.PushRight}
+		switch layout {
+		case "rows":
+			ll.PushBatch, ol.PushBatch = j.PushLeftBatch, j.PushRightBatch
+		case "columnar":
+			ll.PushColBatch, ol.PushColBatch = j.PushLeftColBatch, j.PushRightColBatch
+		}
+		start := time.Now()
+		exec.NewDriver(ctx, ll, ol).Run(0, nil)
+		j.FinishLeft()
+		j.FinishRight()
+		out = append(out, AblationRow{
+			Experiment: "batch-layout",
+			Setting:    layout,
+			Seconds:    ctx.Clock.Now,
+			Detail:     fmt.Sprintf("wall=%v out=%d", time.Since(start).Round(time.Microsecond), n),
 		})
 	}
 

@@ -40,6 +40,11 @@ type Tree struct {
 	// driver uses it to deliver whole batches into the plan). The batch
 	// slice must not be retained by the plan.
 	EntryBatch map[string]func([]types.Tuple)
+	// EntryCol maps base relation name -> columnar push function (set
+	// when the entry operator accepts struct-of-arrays batches; preferred
+	// over EntryBatch by the source driver). The batch must not be
+	// retained by the plan.
+	EntryCol map[string]func(*types.ColBatch)
 	// Joins lists join nodes bottom-up.
 	Joins []*TreeJoin
 	// PreAggWindow is the adjustable-window pre-aggregation operator if
@@ -77,6 +82,7 @@ func Lower(ctx *exec.Context, plan algebra.Plan, out exec.Sink) (*Tree, error) {
 		ctx:        ctx,
 		Entry:      map[string]func(types.Tuple){},
 		EntryBatch: map[string]func([]types.Tuple){},
+		EntryCol:   map[string]func(*types.ColBatch){},
 		RootSchema: plan.Schema(),
 	}
 	if err := t.build(plan, out); err != nil {
@@ -115,6 +121,9 @@ func (t *Tree) build(p algebra.Plan, out exec.Sink) error {
 		t.Entry[name] = out.Push
 		if bs, ok := out.(exec.BatchSink); ok {
 			t.EntryBatch[name] = bs.PushBatch
+		}
+		if cs, ok := out.(exec.ColBatchSink); ok {
+			t.EntryCol[name] = cs.PushColBatch
 		}
 		return nil
 

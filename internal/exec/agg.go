@@ -145,14 +145,23 @@ type AggTable struct {
 	outSchema     *types.Schema
 	partialSchema *types.Schema
 
-	groups map[string]*aggGroup
-	// keyBuf/valScratch are steady-state-allocation-free grouping scratch:
-	// the group key is byte-encoded into keyBuf and looked up with the
-	// map[string(buf)] idiom; group values are extracted into valScratch
-	// and only copied to owned storage when a new group is created.
-	keyBuf     []byte
+	// groups chains aggregate groups under their key hash; group identity
+	// is the hash plus strict value equality (types.StrictEqual), which
+	// matches the byte codec's grouping semantics exactly — Int(1),
+	// Float(1), and Str("1") stay distinct — while letting the columnar
+	// path route a whole batch off one types.HashKeys vector.
+	groups  map[uint64][]*aggGroup
+	nGroups int
+	// valScratch is allocation-free grouping scratch: group values are
+	// extracted into it and only copied to owned storage when a new group
+	// is created. hashVec and rowView back the columnar absorb path.
 	valScratch []types.Value
-	counters   stats.OpCounters
+	hashVec    []uint64
+	rowView    types.Tuple
+	// hasArgs records whether any aggregate has an argument evaluator
+	// (COUNT-only tables skip row materialization on the columnar path).
+	hasArgs  bool
+	counters stats.OpCounters
 }
 
 // NewAggTable builds an aggregation table over raw input layout in.
@@ -164,7 +173,7 @@ func NewAggTable(ctx *Context, in *types.Schema, groupBy []string, aggs []algebr
 		aggs:          aggs,
 		outSchema:     algebra.GroupSchema(in, groupBy, aggs, false),
 		partialSchema: algebra.GroupSchema(in, groupBy, aggs, true),
-		groups:        make(map[string]*aggGroup),
+		groups:        make(map[uint64][]*aggGroup),
 	}
 	for _, g := range groupBy {
 		i := in.IndexOf(g)
@@ -183,6 +192,7 @@ func NewAggTable(ctx *Context, in *types.Schema, groupBy []string, aggs []algebr
 			return nil, fmt.Errorf("exec: aggregate %s: %w", spec, err)
 		}
 		a.argEvals = append(a.argEvals, ev)
+		a.hasArgs = true
 	}
 	return a, nil
 }
@@ -197,22 +207,40 @@ func (a *AggTable) PartialSchema() *types.Schema { return a.partialSchema }
 func (a *AggTable) Counters() *stats.OpCounters { return &a.counters }
 
 // Groups returns the current number of groups.
-func (a *AggTable) Groups() int { return len(a.groups) }
+func (a *AggTable) Groups() int { return a.nGroups }
 
-// groupFor finds or creates the group for the given key values. vals may
-// be scratch storage: it is byte-encoded for the map lookup (allocation-
-// free via the map[string(buf)] idiom) and copied to owned storage only
-// when the group is new.
+// groupFor finds or creates the group for the given key values (the
+// scalar path: the hash is computed here, one value at a time).
 func (a *AggTable) groupFor(vals []types.Value) *aggGroup {
-	a.keyBuf = types.AppendKeyAll(a.keyBuf[:0], types.Tuple(vals))
-	g, ok := a.groups[string(a.keyBuf)]
-	if !ok {
-		owned := make([]types.Value, len(vals))
-		copy(owned, vals)
-		g = &aggGroup{groupVals: owned, states: make([]aggState, len(a.aggs))}
-		a.groups[string(a.keyBuf)] = g
+	return a.groupForHashed(types.Tuple(vals).HashKey(types.Identity(len(vals))), vals)
+}
+
+// groupForHashed finds or creates the group for the given key values and
+// their precomputed hash (the columnar path hands in one HashKeys lane
+// per row). vals may be scratch storage: it is copied to owned storage
+// only when the group is new. Lookup is allocation-free at steady state.
+func (a *AggTable) groupForHashed(hash uint64, vals []types.Value) *aggGroup {
+	for _, g := range a.groups[hash] {
+		if strictEqualVals(g.groupVals, vals) {
+			return g
+		}
 	}
+	owned := make([]types.Value, len(vals))
+	copy(owned, vals)
+	g := &aggGroup{groupVals: owned, states: make([]aggState, len(a.aggs))}
+	a.groups[hash] = append(a.groups[hash], g)
+	a.nGroups++
 	return g
+}
+
+// strictEqualVals reports element-wise strict equality (group identity).
+func strictEqualVals(a, b []types.Value) bool {
+	for i := range a {
+		if !types.StrictEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // groupScratch returns the reused group-value buffer, sized to n.
@@ -281,9 +309,9 @@ func (a *AggTable) AbsorbPartialBatch(ts []types.Tuple) {
 // EmitFinal produces the final aggregate relation, sorted by group values
 // for determinism, and charges output costs.
 func (a *AggTable) EmitFinal() []types.Tuple {
-	gs := make([]*aggGroup, 0, len(a.groups))
-	for _, g := range a.groups {
-		gs = append(gs, g)
+	gs := make([]*aggGroup, 0, a.nGroups)
+	for _, chain := range a.groups {
+		gs = append(gs, chain...)
 	}
 	idx := types.Identity(len(a.groupIdx))
 	sort.Slice(gs, func(i, j int) bool {
@@ -308,9 +336,9 @@ func (a *AggTable) EmitFinal() []types.Tuple {
 // partials is exactly the paper's "traditional pre-aggregation" operator
 // (§6): correct, but unpipelined.
 func (a *AggTable) EmitPartial() []types.Tuple {
-	gs := make([]*aggGroup, 0, len(a.groups))
-	for _, g := range a.groups {
-		gs = append(gs, g)
+	gs := make([]*aggGroup, 0, a.nGroups)
+	for _, chain := range a.groups {
+		gs = append(gs, chain...)
 	}
 	idx := types.Identity(len(a.groupIdx))
 	sort.Slice(gs, func(i, j int) bool {

@@ -1,0 +1,261 @@
+package exec
+
+import (
+	"github.com/tukwila/adp/internal/types"
+)
+
+// Columnar execution: operators that can consume struct-of-arrays batches
+// advertise ColBatchSink, and the source driver delivers same-source runs
+// as types.ColBatch values. The win over row batches is the key
+// machinery: one types.HashKeys sweep hashes a whole batch's key columns
+// column-at-a-time into a reused hash vector, and the hash-based
+// consumers (HashJoin via state.HashTable.InsertHashedBatch /
+// ProbeHashedBatch, AggTable group routing) spend that one vector per
+// batch instead of hashing tuple-by-tuple. Semantics are exactly those of
+// pushing the equivalent row batch: output order and counters are
+// identical, and virtual-clock charges are the same multiset (totals
+// agree up to float summation order).
+
+// ColBatchSink is the columnar extension of Sink. The batch is owned by
+// the caller and valid only for the duration of the call; receivers that
+// retain rows must materialize them as tuples (which copies the values).
+type ColBatchSink interface {
+	Sink
+	// PushColBatch pushes the batch's rows in order. b must not be
+	// retained.
+	PushColBatch(b *types.ColBatch)
+}
+
+// colDelivery is the downstream-delivery machinery shared by columnar
+// producers: the columnar fast path when the sink advertises one, with
+// automatic row-batch fallback through PushAll. Fallback rows are carved
+// from a slab arena (downstream may retain them), and the row-header
+// slice is reused across batches.
+type colDelivery struct {
+	arena valueArena
+	rows  []types.Tuple
+}
+
+// materialize converts b into retention-safe row tuples. The returned
+// slice obeys the batch contract (reused across calls; the tuples
+// themselves are arena-backed and live forever).
+func (d *colDelivery) materialize(b *types.ColBatch) []types.Tuple {
+	w := b.Width()
+	rows := d.rows[:0]
+	for i, n := 0, b.Len(); i < n; i++ {
+		t := d.arena.alloc(w)
+		b.ReadRow(t, i)
+		rows = append(rows, t)
+	}
+	d.rows = rows
+	return rows
+}
+
+// PushColAll delivers a columnar batch to any sink.
+func (d *colDelivery) PushColAll(s Sink, b *types.ColBatch) {
+	if cs, ok := s.(ColBatchSink); ok {
+		cs.PushColBatch(b)
+		return
+	}
+	PushAll(s, d.materialize(b))
+}
+
+// PushColBatch implements ColBatchSink for Discard.
+func (discardSink) PushColBatch(*types.ColBatch) {}
+
+// --- HashJoin ---------------------------------------------------------
+
+// PushColBatch implements ColBatchSink for a join input.
+func (s joinSide) PushColBatch(b *types.ColBatch) {
+	if s.left {
+		s.j.PushLeftColBatch(b)
+	} else {
+		s.j.PushRightColBatch(b)
+	}
+}
+
+// PushLeftColBatch feeds a columnar batch into the left input. This is
+// the vectorized key path: one HashKeys sweep hashes the batch's key
+// columns column-at-a-time, the build side bulk-inserts against that hash
+// vector (InsertHashedBatch), and the opposite side is probed once per
+// row through the batched probe driver — no per-tuple hashing or probe-
+// key extraction anywhere. Output order and counters are identical to the
+// row paths; clock totals agree up to float summation order.
+func (j *HashJoin) PushLeftColBatch(b *types.ColBatch) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	if j.Style == NestedLoops {
+		for _, t := range j.colIn.materialize(b) {
+			j.PushLeft(t)
+		}
+		return
+	}
+	j.beginBatch()
+	j.counters.In += int64(n)
+	j.counters.InLeft += int64(n)
+	j.hashVec = types.HashKeys(j.hashVec, b, j.leftKey)
+	rows := j.colIn.materialize(b)
+	j.leftHT.InsertHashedBatch(j.hashVec, rows)
+	j.ctx.Clock.Charge(float64(n) * j.ctx.Cost.HashInsert)
+	if j.Style == Pipelined || j.rightDone {
+		j.probeBatch(false, j.hashVec, rows, j.leftKey)
+	} else {
+		j.pendingProbes = append(j.pendingProbes, rows...)
+	}
+	j.endBatch()
+}
+
+// PushRightColBatch feeds a columnar batch into the right input (the
+// mirror of PushLeftColBatch; build-then-probe joins only build here).
+func (j *HashJoin) PushRightColBatch(b *types.ColBatch) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	if j.Style == NestedLoops {
+		for _, t := range j.colIn.materialize(b) {
+			j.PushRight(t)
+		}
+		return
+	}
+	j.beginBatch()
+	j.counters.In += int64(n)
+	j.counters.InRight += int64(n)
+	j.hashVec = types.HashKeys(j.hashVec, b, j.rightKey)
+	rows := j.colIn.materialize(b)
+	j.rightHT.InsertHashedBatch(j.hashVec, rows)
+	j.ctx.Clock.Charge(float64(n) * j.ctx.Cost.HashInsert)
+	if j.Style == Pipelined {
+		j.probeBatch(true, j.hashVec, rows, j.rightKey)
+	}
+	j.endBatch()
+}
+
+// probeBatch probes the opposite table once per batch row: hashes[i] and
+// rows[i]'s keyCols form row i's probe. Chain-walk work is charged for
+// the whole batch (the same per-probe 1+chainLen accounting, summed), and
+// matches emit in row order through the shared emitter. probedLeft says
+// the probed table is the left one, so matches are the left operand.
+func (j *HashJoin) probeBatch(probedLeft bool, hashes []uint64, rows []types.Tuple, keyCols []int) {
+	table := j.rightHT
+	if probedLeft {
+		table = j.leftHT
+	}
+	work := float64(len(rows))
+	for _, h := range hashes {
+		work += float64(table.ChainLenHashed(h))
+	}
+	j.ctx.Clock.Charge(work * j.ctx.Cost.HashProbe)
+	if probedLeft {
+		table.ProbeHashedBatch(hashes, rows, keyCols, func(i int, lt types.Tuple) bool {
+			j.emit(lt, rows[i])
+			return true
+		})
+	} else {
+		table.ProbeHashedBatch(hashes, rows, keyCols, func(i int, rt types.Tuple) bool {
+			j.emit(rows[i], rt)
+			return true
+		})
+	}
+}
+
+// --- Filter -----------------------------------------------------------
+
+// PushColBatch implements ColBatchSink: rows are viewed through a reused
+// scratch tuple for the predicate, and survivors are gathered into a
+// reused columnar batch delivered downstream in one call.
+func (f *Filter) PushColBatch(b *types.ColBatch) {
+	w := b.Width()
+	if f.colScratch == nil || f.colScratch.Width() != w {
+		f.colScratch = types.NewColBatch(w)
+	}
+	out := f.colScratch
+	out.Reset()
+	if cap(f.rowView) < w {
+		f.rowView = make(types.Tuple, w)
+	}
+	row := f.rowView[:w]
+	for i, n := 0, b.Len(); i < n; i++ {
+		f.counters.In++
+		f.ctx.Clock.Charge(f.ctx.Cost.Compare)
+		b.ReadRow(row, i)
+		if f.pred(row) {
+			f.counters.Out++
+			out.AppendRow(row)
+		}
+	}
+	if out.Len() > 0 {
+		f.del.PushColAll(f.out, out)
+	}
+}
+
+// --- Project ----------------------------------------------------------
+
+// PushColBatch implements ColBatchSink. Columnar projection is zero-copy:
+// the output batch's columns alias the input's through the adapter's
+// permutation (AdaptCols), so no value moves at all.
+func (p *Project) PushColBatch(b *types.ColBatch) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	if p.colScratch == nil {
+		p.colScratch = types.NewColBatch(p.adapter.To().Len())
+	}
+	p.counters.In += int64(n)
+	p.counters.Out += int64(n)
+	p.ctx.Clock.Charge(float64(n) * p.ctx.Cost.Move)
+	p.adapter.AdaptCols(p.colScratch, b)
+	p.del.PushColAll(p.out, p.colScratch)
+}
+
+// --- Combine ----------------------------------------------------------
+
+// PushColBatch implements ColBatchSink (pass-through).
+func (c *Combine) PushColBatch(b *types.ColBatch) {
+	c.counters.In += int64(b.Len())
+	c.counters.Out += int64(b.Len())
+	c.del.PushColAll(c.out, b)
+}
+
+// --- AggTable ---------------------------------------------------------
+
+// PushColBatch implements ColBatchSink: group routing consumes one
+// HashKeys vector for the whole batch — the group-by columns are hashed
+// column-at-a-time, and each row's group is found by hash plus strict
+// value equality, with no per-row key encoding.
+func (a *AggTable) PushColBatch(b *types.ColBatch) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	a.hashVec = types.HashKeys(a.hashVec, b, a.groupIdx)
+	w := b.Width()
+	if cap(a.rowView) < w {
+		a.rowView = make(types.Tuple, w)
+	}
+	row := a.rowView[:w]
+	for i := 0; i < n; i++ {
+		a.counters.In++
+		a.ctx.Clock.Charge(a.ctx.Cost.AggUpdate)
+		vals := a.groupScratch(len(a.groupIdx))
+		for k, gi := range a.groupIdx {
+			vals[k] = b.At(i, gi)
+		}
+		g := a.groupForHashed(a.hashVec[i], vals)
+		if a.hasArgs {
+			// Argument evaluators want a row view; skip the
+			// materialization entirely for arg-less aggregates (COUNT).
+			b.ReadRow(row, i)
+		}
+		for k, spec := range a.aggs {
+			var v types.Value
+			if a.argEvals[k] != nil {
+				v = a.argEvals[k](row)
+			}
+			g.states[k].accumulate(spec.Kind, v)
+		}
+	}
+}

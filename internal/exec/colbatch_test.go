@@ -1,0 +1,307 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tukwila/adp/internal/algebra"
+	"github.com/tukwila/adp/internal/source"
+	"github.com/tukwila/adp/internal/types"
+)
+
+// feedJoinCol mirrors feedJoin's chunked alternating delivery, but
+// transposes each chunk into a columnar batch first.
+func feedJoinCol(j *HashJoin, ls, rs []types.Tuple, chunkSize int) {
+	i, k := 0, 0
+	lb, rb := types.NewColBatch(2), types.NewColBatch(2)
+	for i < len(ls) || k < len(rs) {
+		if i < len(ls) {
+			end := min(i+chunkSize, len(ls))
+			lb.Reset()
+			lb.AppendRows(ls[i:end])
+			j.PushLeftColBatch(lb)
+			i = end
+		}
+		if k < len(rs) {
+			end := min(k+chunkSize, len(rs))
+			rb.Reset()
+			rb.AppendRows(rs[k:end])
+			j.PushRightColBatch(rb)
+			k = end
+		}
+	}
+	j.FinishLeft()
+	j.FinishRight()
+}
+
+// TestColumnarMatchesRowAndTuple is the three-way equivalence pin for the
+// join: tuple-at-a-time, row batches, and columnar batches must produce
+// byte-identical outputs in identical order with identical counters.
+// Virtual-clock totals agree up to float summation order (the columnar
+// path charges a batch's inserts ahead of its probes).
+func TestColumnarMatchesRowAndTuple(t *testing.T) {
+	ls := randTuples(2000, 300, 1, rRow)
+	rs := randTuples(2000, 300, 2, sRow)
+	for _, style := range []JoinStyle{Pipelined, BuildThenProbe, NestedLoops} {
+		run := func(mode string) (*collectSink, *HashJoin, *Context) {
+			ctx := NewContext()
+			out := &collectSink{}
+			j := NewHashJoin(ctx, style, rSchema, sSchema, []int{0}, []int{0}, out)
+			switch mode {
+			case "tuple":
+				feedJoin(j, ls, rs, 64, false)
+			case "rows":
+				feedJoin(j, ls, rs, 64, true)
+			case "columnar":
+				feedJoinCol(j, ls, rs, 64)
+			}
+			return out, j, ctx
+		}
+		outT, jT, ctxT := run("tuple")
+		for _, mode := range []string{"rows", "columnar"} {
+			out, j, ctx := run(mode)
+			if len(out.rows) != len(outT.rows) || len(out.rows) == 0 {
+				t.Fatalf("%v/%s: %d vs %d output tuples", style, mode, len(out.rows), len(outT.rows))
+			}
+			for i := range out.rows {
+				if out.rows[i].String() != outT.rows[i].String() {
+					t.Fatalf("%v/%s: output %d differs: %v vs %v", style, mode, i, out.rows[i], outT.rows[i])
+				}
+			}
+			if *j.Counters() != *jT.Counters() {
+				t.Fatalf("%v/%s: counters differ: %+v vs %+v", style, mode, j.Counters(), jT.Counters())
+			}
+			if diff := math.Abs(ctx.Clock.CPU - ctxT.Clock.CPU); diff > 1e-9*ctxT.Clock.CPU {
+				t.Fatalf("%v/%s: clocks differ: %v vs %v", style, mode, ctx.Clock.CPU, ctxT.Clock.CPU)
+			}
+		}
+	}
+}
+
+// TestColumnarPipelineSegment pushes columnar batches through a
+// Filter → Project → HashJoin → AggTable segment (the shape of a lowered
+// phase plan, with the projection exercising the zero-copy column
+// aliasing) and checks the final aggregate, all counters, and the clock
+// against the tuple-at-a-time execution.
+func TestColumnarPipelineSegment(t *testing.T) {
+	// Project r(k,a) -> (a,k) then back so the join still keys on column 1
+	// of the projected layout.
+	projSchema := types.NewSchema(
+		types.Column{Name: "r.a", Kind: types.KindInt},
+		types.Column{Name: "r.k", Kind: types.KindInt},
+	)
+	full := projSchema.Concat(sSchema)
+	aggs := []algebra.AggSpec{{Kind: algebra.AggCount, As: "n"}}
+	build := func(t *testing.T) (*Filter, *HashJoin, *AggTable, *Context) {
+		t.Helper()
+		ctx := NewContext()
+		agg, err := NewAggTable(ctx, full, []string{"r.k"}, aggs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := NewHashJoin(ctx, Pipelined, projSchema, sSchema, []int{1}, []int{0}, agg)
+		ad, err := types.NewAdapter(rSchema, projSchema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := NewProject(ctx, ad, j.LeftSink())
+		f := NewFilter(ctx, func(tp types.Tuple) bool { return tp[1].I%3 != 0 }, p)
+		return f, j, agg, ctx
+	}
+	ls := randTuples(3000, 200, 3, rRow)
+	rs := randTuples(3000, 200, 4, sRow)
+
+	f1, j1, a1, ctx1 := build(t)
+	for i := range ls {
+		f1.Push(ls[i])
+		j1.PushRight(rs[i])
+	}
+	f2, j2, a2, ctx2 := build(t)
+	lb, rb := types.NewColBatch(2), types.NewColBatch(2)
+	for i := 0; i < len(ls); i += 128 {
+		end := min(i+128, len(ls))
+		lb.Reset()
+		lb.AppendRows(ls[i:end])
+		f2.PushColBatch(lb)
+		rb.Reset()
+		rb.AppendRows(rs[i:end])
+		j2.PushRightColBatch(rb)
+	}
+
+	r1, r2 := a1.EmitFinal(), a2.EmitFinal()
+	if len(r1) != len(r2) || len(r1) == 0 {
+		t.Fatalf("group counts differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i].String() != r2[i].String() {
+			t.Fatalf("group %d differs: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+	if *a1.Counters() != *a2.Counters() || *j1.Counters() != *j2.Counters() || *f1.Counters() != *f2.Counters() {
+		t.Fatal("operator counters differ between tuple and columnar runs")
+	}
+	if diff := math.Abs(ctx1.Clock.CPU - ctx2.Clock.CPU); diff > 1e-9*ctx1.Clock.CPU {
+		t.Fatalf("pipeline clocks differ: %v vs %v", ctx1.Clock.CPU, ctx2.Clock.CPU)
+	}
+}
+
+// TestDriverColumnarDelivery runs the availability-ordered source driver
+// three ways — tuple, row-batch, and columnar leaves — over sources with
+// interleaved arrival schedules, and requires identical outputs,
+// delivery counts, and final clocks.
+func TestDriverColumnarDelivery(t *testing.T) {
+	ls := randTuples(1500, 250, 5, rRow)
+	rs := randTuples(1500, 250, 6, sRow)
+	lRel := source.NewRelation("r", rSchema, ls)
+	rRel := source.NewRelation("s", sSchema, rs)
+	run := func(mode string) (*collectSink, *Driver, *Context) {
+		ctx := NewContext()
+		out := &collectSink{}
+		j := NewHashJoin(ctx, Pipelined, rSchema, sSchema, []int{0}, []int{0}, out)
+		ll := &Leaf{
+			Provider: source.NewProvider(lRel, source.NewBursty(len(ls), 12000, 80, 0.01, 3)),
+			Pred:     func(tp types.Tuple) bool { return tp[1].I%7 != 0 },
+			Push:     j.PushLeft,
+		}
+		rl := &Leaf{
+			Provider: source.NewProvider(rRel, source.NewBursty(len(rs), 9000, 120, 0.02, 4)),
+			Push:     j.PushRight,
+		}
+		switch mode {
+		case "rows":
+			ll.PushBatch, rl.PushBatch = j.PushLeftBatch, j.PushRightBatch
+		case "columnar":
+			ll.PushColBatch, rl.PushColBatch = j.PushLeftColBatch, j.PushRightColBatch
+		}
+		d := NewDriver(ctx, ll, rl)
+		d.Run(0, nil)
+		j.FinishLeft()
+		j.FinishRight()
+		return out, d, ctx
+	}
+	outT, dT, ctxT := run("tuple")
+	if len(outT.rows) == 0 {
+		t.Fatal("no join output")
+	}
+	for _, mode := range []string{"rows", "columnar"} {
+		out, d, ctx := run(mode)
+		if d.Delivered != dT.Delivered {
+			t.Fatalf("%s: delivered %d vs %d", mode, d.Delivered, dT.Delivered)
+		}
+		if len(out.rows) != len(outT.rows) {
+			t.Fatalf("%s: %d vs %d outputs", mode, len(out.rows), len(outT.rows))
+		}
+		for i := range out.rows {
+			if out.rows[i].String() != outT.rows[i].String() {
+				t.Fatalf("%s: output %d differs", mode, i)
+			}
+		}
+		if ctx.Clock.Now != ctxT.Clock.Now && math.Abs(ctx.Clock.Now-ctxT.Clock.Now) > 1e-9*ctxT.Clock.Now {
+			t.Fatalf("%s: clock %v vs %v", mode, ctx.Clock.Now, ctxT.Clock.Now)
+		}
+	}
+}
+
+// TestAggTableColumnarGrouping pins the hashed group routing against the
+// scalar path on adversarial keys: kinds that compare equal but must
+// group apart (Int(1) vs Float(1) vs Str("1")), NaNs (one group), and
+// ±0 (distinct groups) — the byte codec's grouping semantics.
+func TestAggTableColumnarGrouping(t *testing.T) {
+	schema := types.NewSchema(
+		types.Column{Name: "g.k", Kind: types.KindFloat},
+		types.Column{Name: "g.v", Kind: types.KindInt},
+	)
+	keys := []types.Value{
+		types.Int(1), types.Float(1), types.Str("1"),
+		types.Float(math.NaN()), types.Float(math.NaN()),
+		types.Float(0), types.Float(math.Copysign(0, -1)),
+		types.Null(), types.Str(""),
+	}
+	var rows []types.Tuple
+	for rep := 0; rep < 3; rep++ {
+		for i, k := range keys {
+			rows = append(rows, types.Tuple{k, types.Int(int64(i))})
+		}
+	}
+	aggs := []algebra.AggSpec{{Kind: algebra.AggCount, As: "n"}}
+	mk := func(t *testing.T) *AggTable {
+		t.Helper()
+		a, err := NewAggTable(NewContext(), schema, []string{"g.k"}, aggs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	a1 := mk(t)
+	for _, r := range rows {
+		a1.AbsorbRaw(r)
+	}
+	a2 := mk(t)
+	cb := types.FromRows(rows, 2)
+	a2.PushColBatch(cb)
+	// 8 groups: {Int 1, Float 1, Str "1", NaN, +0, -0, Null, ""}.
+	if a1.Groups() != 8 || a2.Groups() != 8 {
+		t.Fatalf("groups: scalar %d, columnar %d, want 8", a1.Groups(), a2.Groups())
+	}
+	r1, r2 := a1.EmitFinal(), a2.EmitFinal()
+	counts := func(rs []types.Tuple) map[string]string {
+		m := map[string]string{}
+		for _, r := range rs {
+			m[types.EncodeKey(r, []int{0})] = r[1].String()
+		}
+		return m
+	}
+	c1, c2 := counts(r1), counts(r2)
+	if len(c1) != len(c2) {
+		t.Fatalf("emitted group counts differ: %d vs %d", len(c1), len(c2))
+	}
+	for k, v := range c1 {
+		if c2[k] != v {
+			t.Fatalf("group %q count differs: %s vs %s", k, v, c2[k])
+		}
+	}
+}
+
+// TestColumnarAllocsNotWorse enforces the allocation acceptance bound as
+// a like-for-like regression test: the columnar join path must not
+// allocate more per tuple than the row-batch path (the shared floor is
+// bucket-chain storage), and both must stay far under tuple-at-a-time.
+func TestColumnarAllocsNotWorse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	const n = 4096
+	ls := randTuples(n, n/4, 5, rRow)
+	rs := randTuples(n, n/4, 6, sRow)
+	lbs := toColBatches(ls, 64)
+	rbs := toColBatches(rs, 64)
+	perTuple := func(fn func()) float64 {
+		return testing.AllocsPerRun(3, fn) / float64(2*n)
+	}
+	tuple := perTuple(func() {
+		j := NewHashJoin(NewContext(), Pipelined, rSchema, sSchema, []int{0}, []int{0}, Discard)
+		feedJoin(j, ls, rs, 64, false)
+	})
+	rows := perTuple(func() {
+		j := NewHashJoin(NewContext(), Pipelined, rSchema, sSchema, []int{0}, []int{0}, Discard)
+		feedJoin(j, ls, rs, 64, true)
+	})
+	columnar := perTuple(func() {
+		j := NewHashJoin(NewContext(), Pipelined, rSchema, sSchema, []int{0}, []int{0}, Discard)
+		for i := range lbs {
+			j.PushLeftColBatch(lbs[i])
+			j.PushRightColBatch(rbs[i])
+		}
+		j.FinishLeft()
+		j.FinishRight()
+	})
+	t.Logf("allocs/tuple: tuple %.3f, rows %.3f, columnar %.3f", tuple, rows, columnar)
+	// Small tolerance: the columnar path's extra slab arenas amortize to
+	// well under 0.1 allocs/tuple.
+	if columnar > rows+0.1 {
+		t.Fatalf("columnar path allocates %.3f/tuple, row path %.3f/tuple", columnar, rows)
+	}
+	if columnar > tuple/2 {
+		t.Fatalf("columnar path allocates %.3f/tuple, more than half of tuple-at-a-time %.3f", columnar, tuple)
+	}
+}

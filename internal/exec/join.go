@@ -84,6 +84,12 @@ type HashJoin struct {
 	keyScratch types.Tuple
 	em         BatchEmitter
 
+	// Columnar-execution scratch: the reused batch hash vector and the
+	// arena-backed materializer turning columnar input rows into the
+	// tuples the state structures retain.
+	hashVec []uint64
+	colIn   colDelivery
+
 	counters stats.OpCounters
 }
 
@@ -410,6 +416,12 @@ type Filter struct {
 	out      Sink
 	scratch  []types.Tuple
 	counters stats.OpCounters
+
+	// Columnar scratch: survivor gather batch, predicate row view, and
+	// downstream delivery machinery.
+	colScratch *types.ColBatch
+	rowView    types.Tuple
+	del        colDelivery
 }
 
 // NewFilter builds a filter node.
@@ -455,6 +467,11 @@ type Project struct {
 	arena    valueArena
 	scratch  []types.Tuple
 	counters stats.OpCounters
+
+	// Columnar scratch: the zero-copy aliased output batch and downstream
+	// delivery machinery.
+	colScratch *types.ColBatch
+	del        colDelivery
 }
 
 // NewProject builds a projection node from an adapter.
@@ -495,6 +512,7 @@ func (p *Project) Counters() *stats.OpCounters { return &p.counters }
 type Combine struct {
 	out      Sink
 	counters stats.OpCounters
+	del      colDelivery
 }
 
 // NewCombine builds a combine node.

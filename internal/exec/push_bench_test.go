@@ -38,6 +38,48 @@ func BenchmarkPipelinedJoinPush(b *testing.B) {
 			j.PushRightBatch(rs[i:end])
 		}
 	})
+	b.Run("columnar", func(b *testing.B) {
+		ls, rs := mkRows(b.N)
+		lbs := toColBatches(ls, batch)
+		rbs := toColBatches(rs, batch)
+		j := NewHashJoin(NewContext(), Pipelined, rSchema, sSchema, []int{0}, []int{0}, Discard)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := range lbs {
+			j.PushLeftColBatch(lbs[i])
+			j.PushRightColBatch(rbs[i])
+		}
+	})
+}
+
+// toColBatches transposes rows into columnar batches of the given size
+// (bench setup; the driver does this transposition per same-source run).
+func toColBatches(rows []types.Tuple, batch int) []*types.ColBatch {
+	if len(rows) == 0 {
+		return nil
+	}
+	var out []*types.ColBatch
+	for i := 0; i < len(rows); i += batch {
+		out = append(out, types.FromRows(rows[i:min(i+batch, len(rows))], len(rows[0])))
+	}
+	return out
+}
+
+// BenchmarkHashKeys tracks the vectorized key-hash kernel itself: one
+// op hashes a whole batch's key columns into a reused hash vector
+// (column-at-a-time over struct-of-arrays storage; 0 allocs/op).
+func BenchmarkHashKeys(b *testing.B) {
+	const rows = 1024
+	ts := randTuples(rows, 256, 12, rRow)
+	cb := types.FromRows(ts, 2)
+	cols := []int{0, 1}
+	vec := types.HashKeys(nil, cb, cols)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vec = types.HashKeys(vec, cb, cols)
+	}
+	_ = vec
 }
 
 // BenchmarkMergeJoinPush compares tuple-at-a-time vs batched push through

@@ -106,8 +106,26 @@ type Bursty struct {
 }
 
 // NewBursty precomputes an arrival schedule for up to n tuples.
+// Degenerate parameters are clamped rather than trusted (mirroring
+// Bandwidth.ArrivalAt's guard): burstTuples <= 0 behaves as 1 (it would
+// otherwise panic in rand.Intn), tuplesPerSec <= 0 means instantaneous
+// in-burst delivery (it would otherwise produce +Inf arrival times), a
+// negative gap stalls for 0 seconds, and n < 0 yields an empty schedule.
 func NewBursty(n int, tuplesPerSec float64, burstTuples int, gapSeconds float64, seed int64) *Bursty {
 	b := &Bursty{TuplesPerSec: tuplesPerSec, BurstTuples: burstTuples, GapSeconds: gapSeconds, Seed: seed}
+	if n < 0 {
+		n = 0
+	}
+	if burstTuples < 1 {
+		burstTuples = 1
+	}
+	perTuple := 0.0
+	if tuplesPerSec > 0 {
+		perTuple = 1 / tuplesPerSec
+	}
+	if gapSeconds < 0 {
+		gapSeconds = 0
+	}
 	rng := rand.New(rand.NewSource(seed))
 	arr := make([]float64, n)
 	t := 0.0
@@ -116,7 +134,7 @@ func NewBursty(n int, tuplesPerSec float64, burstTuples int, gapSeconds float64,
 		// Burst length: exponential-ish around BurstTuples.
 		blen := 1 + rng.Intn(2*burstTuples)
 		for j := 0; j < blen && i < n; j++ {
-			t += 1 / tuplesPerSec
+			t += perTuple
 			arr[i] = t
 			i++
 		}

@@ -1,6 +1,7 @@
 package source
 
 import (
+	"math"
 	"sort"
 	"testing"
 
@@ -218,5 +219,52 @@ func TestRelationCloneAndString(t *testing.T) {
 func TestSortednessSmall(t *testing.T) {
 	if SortednessAsc(intRel("r", 7), "r.k") != 1 {
 		t.Error("single-row sortedness should be 1")
+	}
+}
+
+// TestBurstyDegenerateParams is the regression test for the degenerate-
+// parameter guards: burstTuples <= 0 used to panic in rand.Intn, and
+// tuplesPerSec <= 0 used to yield +Inf arrival times.
+func TestBurstyDegenerateParams(t *testing.T) {
+	const n = 100
+	// burstTuples <= 0 must not panic and must still deliver n arrivals.
+	for _, bt := range []int{0, -5} {
+		b := NewBursty(n, 1000, bt, 0.1, 7)
+		prev := 0.0
+		for i := 0; i < n; i++ {
+			at := b.ArrivalAt(i)
+			if math.IsInf(at, 0) || math.IsNaN(at) || at < prev {
+				t.Fatalf("burstTuples=%d: bad arrival %g at %d (prev %g)", bt, at, i, prev)
+			}
+			prev = at
+		}
+	}
+	// tuplesPerSec <= 0 behaves as instantaneous in-burst delivery
+	// (mirroring Bandwidth.ArrivalAt's zero-bandwidth guard): finite,
+	// monotone arrivals with only the gaps advancing time.
+	for _, tps := range []float64{0, -3} {
+		b := NewBursty(n, tps, 10, 0.5, 7)
+		prev := 0.0
+		for i := 0; i < n; i++ {
+			at := b.ArrivalAt(i)
+			if math.IsInf(at, 0) || math.IsNaN(at) || at < prev {
+				t.Fatalf("tuplesPerSec=%g: bad arrival %g at %d (prev %g)", tps, at, i, prev)
+			}
+			prev = at
+		}
+		if prev == 0 {
+			t.Fatalf("tuplesPerSec=%g: gaps should still advance the schedule", tps)
+		}
+	}
+	// Negative gaps clamp to zero stall; negative n yields an empty
+	// schedule rather than a make() panic.
+	b := NewBursty(n, 1000, 10, -1, 7)
+	for i := 0; i < n; i++ {
+		if at := b.ArrivalAt(i); at < 0 || math.IsNaN(at) {
+			t.Fatalf("negative gap: bad arrival %g at %d", at, i)
+		}
+	}
+	if neg := NewBursty(-4, 1000, 10, 0.5, 7); neg.ArrivalAt(0) != 0 {
+		t.Error("negative n should behave as an empty schedule")
 	}
 }

@@ -77,13 +77,52 @@ func (h *HashTable) Insert(t types.Tuple) {
 // InsertHashed inserts a tuple whose key hash the caller already computed
 // (a pipelined join hashes each tuple once and reuses the hash for both
 // the build insert and the opposite-side probe).
+//
+// Growth freezes once any partition has spilled: partition(bucket) is
+// bucket % partCount over a fixed partCount, so doubling the bucket array
+// after a spill would silently migrate tuples between spilled and
+// resident partitions with no I/O accounting. Frozen buckets are also the
+// paper's §4.4 semantics — spilled structures keep their boundaries so
+// overflowed regions stay aligned across the tables sharing them.
 func (h *HashTable) InsertHashed(hash uint64, t types.Tuple) {
-	if !h.Fixed && h.n >= 4*len(h.buckets) {
+	if !h.Fixed && len(h.spilledParts) == 0 && h.n >= 4*len(h.buckets) {
 		h.grow()
 	}
 	b := h.bucketOf(hash)
 	h.buckets[b] = append(h.buckets[b], t)
 	h.n++
+}
+
+// InsertHashedBatch inserts a batch of tuples with a precomputed hash
+// vector (hashes[i] is ts[i]'s key hash, e.g. one types.HashKeys sweep
+// over a columnar batch). State evolution — growth timing, bucket chain
+// order — is exactly that of calling InsertHashed per tuple.
+func (h *HashTable) InsertHashedBatch(hashes []uint64, ts []types.Tuple) {
+	for i, t := range ts {
+		h.InsertHashed(hashes[i], t)
+	}
+}
+
+// ProbeHashedBatch drives one probe per batch row: row i probes with hash
+// hashes[i] and the key columns keyCols of keys[i], and fn receives the
+// row index with each matching resident tuple (return false to stop that
+// row's probe; later rows still probe). It is the batch companion of
+// ProbeHashed — one hash vector and zero per-row setup, with spill I/O
+// accounted per probe exactly as in the scalar path.
+func (h *HashTable) ProbeHashedBatch(hashes []uint64, keys []types.Tuple, keyCols []int, fn func(row int, match types.Tuple) bool) {
+	for i, key := range keys {
+		bi := h.bucketOf(hashes[i])
+		if h.isSpilled(bi) {
+			h.DiskReads++
+		}
+		for _, t := range h.buckets[bi] {
+			if t.KeyEquals(h.keyCols, key, keyCols) {
+				if !fn(i, t) {
+					break
+				}
+			}
+		}
+	}
 }
 
 // grow doubles the bucket array. Doubling means each old chain splits

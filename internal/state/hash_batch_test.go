@@ -1,0 +1,167 @@
+package state
+
+import (
+	"testing"
+
+	"github.com/tukwila/adp/internal/types"
+)
+
+func kvTuple(k, v int64) types.Tuple { return types.Tuple{types.Int(k), types.Int(v)} }
+
+func kvSchema() *types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "t.k", Kind: types.KindInt},
+		types.Column{Name: "t.v", Kind: types.KindInt},
+	)
+}
+
+// TestInsertHashedBatchMatchesScalar pins the batched insert to the
+// scalar path: same tuples in the same order must produce identical
+// bucket counts, growth decisions, and probe results.
+func TestInsertHashedBatchMatchesScalar(t *testing.T) {
+	const n = 20000
+	rows := make([]types.Tuple, n)
+	hashes := make([]uint64, n)
+	for i := range rows {
+		rows[i] = kvTuple(int64(i%977), int64(i))
+		hashes[i] = rows[i].HashKey([]int{0})
+	}
+	scalar := NewHashTable(kvSchema(), []int{0})
+	for i, r := range rows {
+		scalar.InsertHashed(hashes[i], r)
+	}
+	batched := NewHashTable(kvSchema(), []int{0})
+	for i := 0; i < n; i += 130 {
+		end := min(i+130, n)
+		batched.InsertHashedBatch(hashes[i:end], rows[i:end])
+	}
+	if scalar.Len() != batched.Len() || scalar.Buckets() != batched.Buckets() {
+		t.Fatalf("len/buckets diverge: (%d,%d) vs (%d,%d)",
+			scalar.Len(), scalar.Buckets(), batched.Len(), batched.Buckets())
+	}
+	key := types.Tuple{types.Int(37)}
+	h := key.HashKey(types.Identity(1))
+	var got, want []string
+	scalar.ProbeHashed(h, key, func(m types.Tuple) bool { want = append(want, m.String()); return true })
+	batched.ProbeHashed(h, key, func(m types.Tuple) bool { got = append(got, m.String()); return true })
+	if len(got) != len(want) || len(got) == 0 {
+		t.Fatalf("probe results diverge: %d vs %d matches", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("probe match %d differs: %s vs %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestProbeHashedBatchMatchesScalar drives a batch of probes through the
+// batched driver and checks row attribution and match order against
+// per-row ProbeHashed calls.
+func TestProbeHashedBatchMatchesScalar(t *testing.T) {
+	h := allocTestTable(8192)
+	keys := make([]types.Tuple, 64)
+	hashes := make([]uint64, 64)
+	for i := range keys {
+		keys[i] = kvTuple(int64(i*13%512), 0)
+		hashes[i] = keys[i].HashKey([]int{0})
+	}
+	type hit struct {
+		row int
+		m   string
+	}
+	var got, want []hit
+	for i, k := range keys {
+		h.ProbeHashed(hashes[i], types.Tuple{k[0]}, func(m types.Tuple) bool {
+			want = append(want, hit{i, m.String()})
+			return true
+		})
+	}
+	h.ProbeHashedBatch(hashes, keys, []int{0}, func(row int, m types.Tuple) bool {
+		got = append(got, hit{row, m.String()})
+		return true
+	})
+	if len(got) != len(want) || len(got) == 0 {
+		t.Fatalf("batched probe found %d matches, scalar %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("match %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestProbeHashedBatchZeroAllocs pins the batched probe driver at zero
+// steady-state allocations.
+func TestProbeHashedBatchZeroAllocs(t *testing.T) {
+	h := allocTestTable(8192)
+	keys := []types.Tuple{kvTuple(37, 0), kvTuple(41, 0), kvTuple(99, 0)}
+	hashes := make([]uint64, len(keys))
+	for i, k := range keys {
+		hashes[i] = k.HashKey([]int{0})
+	}
+	found := 0
+	fn := func(int, types.Tuple) bool { found++; return true }
+	allocs := testing.AllocsPerRun(500, func() {
+		h.ProbeHashedBatch(hashes, keys, []int{0}, fn)
+	})
+	if allocs != 0 {
+		t.Fatalf("ProbeHashedBatch allocates %v per run, want 0", allocs)
+	}
+	if found == 0 {
+		t.Fatal("batched probe matched nothing")
+	}
+}
+
+// TestSpillFreezesGrowth is the spill/grow interaction regression test:
+// once any partition has spilled, the bucket array must not grow (growth
+// keeps partition(bucket) = bucket % partCount stable), so a key's
+// spilled-ness — and therefore DiskReads accounting — is consistent
+// across subsequent inserts.
+func TestSpillFreezesGrowth(t *testing.T) {
+	h := NewHashTable(kvSchema(), []int{0})
+	for i := 0; i < 1000; i++ {
+		h.Insert(kvTuple(int64(i), int64(i)))
+	}
+	if n := h.SpillPartitions(0.25); n == 0 {
+		t.Fatal("no partitions spilled")
+	}
+	frac := h.SpilledFraction()
+	buckets := h.Buckets()
+
+	// Record which probe keys touch spilled partitions now.
+	spilledKey := map[int64]bool{}
+	for k := int64(0); k < 256; k++ {
+		before := h.DiskReads
+		h.Probe([]types.Value{types.Int(k)}, func(types.Tuple) bool { return true })
+		spilledKey[k] = h.DiskReads > before
+	}
+
+	// Push far past the growth threshold (4 tuples per bucket).
+	for i := 1000; i < 8*buckets; i++ {
+		h.Insert(kvTuple(int64(i), int64(i)))
+	}
+	if h.Buckets() != buckets {
+		t.Fatalf("bucket array grew from %d to %d after spill", buckets, h.Buckets())
+	}
+	if h.SpilledFraction() != frac {
+		t.Fatalf("spilled fraction drifted: %v vs %v", h.SpilledFraction(), frac)
+	}
+	// Every key's spilled-ness must be unchanged: no tuple silently
+	// migrated between spilled and resident partitions.
+	for k := int64(0); k < 256; k++ {
+		before := h.DiskReads
+		h.Probe([]types.Value{types.Int(k)}, func(types.Tuple) bool { return true })
+		if got := h.DiskReads > before; got != spilledKey[k] {
+			t.Fatalf("key %d changed spill residency after inserts: %v -> %v", k, spilledKey[k], got)
+		}
+	}
+
+	// Unspilling re-enables growth.
+	h.UnspillAll()
+	for i := 0; i < 4*buckets; i++ {
+		h.Insert(kvTuple(int64(i), int64(i)))
+	}
+	if h.Buckets() <= buckets {
+		t.Fatalf("growth did not resume after UnspillAll (still %d buckets)", h.Buckets())
+	}
+}

@@ -58,18 +58,43 @@ func NewHistogram(maxBuckets int) *Histogram {
 	}
 }
 
-// keyOf maps a value onto the histogram's integer domain.
+// keyOf maps a value onto the histogram's integer domain. Floats are
+// rounded half-away-from-zero (math.Round) rather than truncated, so 1.1
+// and 1.9 land in different keys and ±0.5 do not all collapse onto 0, and
+// NaN/±Inf are clamped explicitly: a raw int64(v.F) conversion of an
+// out-of-range or NaN float is platform-dependent in Go (the spec leaves
+// it implementation-defined).
 func keyOf(v types.Value) int64 {
 	switch v.K {
 	case types.KindInt:
 		return v.I
 	case types.KindFloat:
-		return int64(v.F)
+		return floatKey(v.F)
 	case types.KindString:
 		return int64(types.Hash(v) & 0x7fffffffffff)
 	default:
 		return 0
 	}
+}
+
+// floatKey is keyOf's order-preserving float→int64 mapping.
+func floatKey(f float64) int64 {
+	if math.IsNaN(f) {
+		// All NaNs share one deterministic key at the domain's bottom
+		// (NaN compares before everything the way NULL sorts first).
+		return math.MinInt64
+	}
+	f = math.Round(f)
+	// float64(MaxInt64) is exactly 2^63, which overflows int64; anything
+	// at or beyond the representable range clamps to the endpoints
+	// (covers ±Inf).
+	if f >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if f <= math.MinInt64 {
+		return math.MinInt64
+	}
+	return int64(f)
 }
 
 // Add folds one value into the histogram. Cost is O(log buckets).

@@ -310,3 +310,61 @@ func TestRegistrySnapshotIsolation(t *testing.T) {
 		t.Errorf("Keys = %v", keys)
 	}
 }
+
+// TestHistogramFloatKeys is the keyOf regression test: floats route
+// through an explicit NaN/Inf clamp plus math.Round, so adds of
+// NaN/±Inf/negative floats are deterministic on every platform (raw
+// int64(f) of NaN or out-of-range values is implementation-defined in
+// Go), nearby fractions stay distinct (1.1 vs 1.9), and ±0.5 do not all
+// collapse onto 0.
+func TestHistogramFloatKeys(t *testing.T) {
+	h := NewHistogram(DefaultBuckets)
+	specials := []float64{
+		math.NaN(), math.Inf(1), math.Inf(-1),
+		-1e300, 1e300, -0.5, 0.5, 0, 1.1, 1.9, -2.7,
+	}
+	for _, f := range specials {
+		for i := 0; i < 3; i++ {
+			h.Add(types.Float(f))
+		}
+	}
+	if h.Count() != int64(3*len(specials)) {
+		t.Fatalf("Count = %d, want %d", h.Count(), 3*len(specials))
+	}
+	// Deterministic keys: the mapping itself must be reproducible.
+	for _, f := range specials {
+		if keyOf(types.Float(f)) != keyOf(types.Float(f)) {
+			t.Fatalf("keyOf(%g) not deterministic", f)
+		}
+	}
+	if keyOf(types.Float(math.NaN())) != math.MinInt64 {
+		t.Errorf("NaN key = %d, want MinInt64", keyOf(types.Float(math.NaN())))
+	}
+	if keyOf(types.Float(math.Inf(1))) != math.MaxInt64 {
+		t.Errorf("+Inf key = %d, want MaxInt64", keyOf(types.Float(math.Inf(1))))
+	}
+	if keyOf(types.Float(math.Inf(-1))) != math.MinInt64 {
+		t.Errorf("-Inf key = %d, want MinInt64", keyOf(types.Float(math.Inf(-1))))
+	}
+	// Rounding, not truncation: 1.1 and 1.9 must key apart, and ±0.5
+	// must not merge with 0.
+	if keyOf(types.Float(1.1)) == keyOf(types.Float(1.9)) {
+		t.Error("1.1 and 1.9 collide")
+	}
+	if keyOf(types.Float(0.5)) == keyOf(types.Float(0)) || keyOf(types.Float(-0.5)) == keyOf(types.Float(0)) {
+		t.Error("±0.5 merged with 0")
+	}
+	if keyOf(types.Float(0.5)) == keyOf(types.Float(-0.5)) {
+		t.Error("0.5 and -0.5 collide")
+	}
+	if got := keyOf(types.Float(-2.7)); got != -3 {
+		t.Errorf("keyOf(-2.7) = %d, want -3 (round half away from zero)", got)
+	}
+	// Estimates over the specials stay finite and see the mass added.
+	if est := h.EstimateEq(types.Float(1.1)); est <= 0 || math.IsNaN(est) {
+		t.Errorf("EstimateEq(1.1) = %g", est)
+	}
+	if est := h.EstimateRange(types.Float(-10), types.Float(10)); est <= 0 || math.IsInf(est, 0) || math.IsNaN(est) {
+		t.Errorf("EstimateRange(-10,10) = %g", est)
+	}
+}

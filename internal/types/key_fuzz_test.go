@@ -1,0 +1,75 @@
+package types
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzKeyCodecRoundTrip drives the AppendKey→DecodeKey round trip over
+// the value space: every encodable tuple must decode back to strictly
+// identical values (StrictEqual is the codec's identity relation).
+func FuzzKeyCodecRoundTrip(f *testing.F) {
+	f.Add(int64(0), 0.0, "", uint8(0))
+	f.Add(int64(-1), 1.5, "a", uint8(1))
+	f.Add(int64(math.MaxInt64), math.Inf(1), "日本\x00x", uint8(2))
+	f.Add(int64(math.MinInt64), math.NaN(), "NaN", uint8(3))
+	f.Fuzz(func(t *testing.T, i int64, fl float64, s string, order uint8) {
+		vals := Tuple{Int(i), Float(fl), Str(s), Null()}
+		// Rotate so every kind appears in every position across inputs.
+		r := int(order) % len(vals)
+		tup := append(Tuple{}, vals[r:]...)
+		tup = append(tup, vals[:r]...)
+
+		enc := AppendKey(nil, tup, Identity(len(tup)))
+		dec, err := DecodeKey(enc)
+		if err != nil {
+			t.Fatalf("decode of valid encoding failed: %v (key %q)", err, enc)
+		}
+		if len(dec) != len(tup) {
+			t.Fatalf("decoded %d values, want %d", len(dec), len(tup))
+		}
+		for k := range tup {
+			if !StrictEqual(dec[k], tup[k]) {
+				t.Fatalf("value %d: %v round-tripped to %v", k, tup[k], dec[k])
+			}
+		}
+		// Determinism: re-encoding the decoded tuple is byte-identical.
+		if re := AppendKey(nil, dec, Identity(len(dec))); string(re) != string(enc) {
+			t.Fatalf("re-encode differs: %q vs %q", re, enc)
+		}
+	})
+}
+
+// FuzzDecodeKeyArbitrary feeds arbitrary bytes to the decoder: it must
+// never panic or read out of bounds — truncated or corrupt frames return
+// a graceful error — and anything it does accept must re-encode and
+// decode to the same values.
+func FuzzDecodeKeyArbitrary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{byte(KindNull)})
+	f.Add([]byte{byte(KindInt), '1'})                 // unterminated int
+	f.Add([]byte{byte(KindFloat), 'N', 'a'})          // unterminated float
+	f.Add([]byte{byte(KindString), 0xff, 0xff, 0xff}) // huge length frame
+	f.Add(AppendKeyAll(nil, Tuple{Int(42), Str("x"), Float(2.5)}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := AppendDecodedKey(nil, data)
+		if err != nil {
+			return // graceful rejection is the contract
+		}
+		// Accepted input: the decoded values form a valid key that
+		// round-trips through the codec.
+		re := AppendKeyAll(nil, dec)
+		dec2, err := DecodeKey(re)
+		if err != nil {
+			t.Fatalf("re-encoded key failed to decode: %v (input %q, re %q)", err, data, re)
+		}
+		if len(dec2) != len(dec) {
+			t.Fatalf("re-decode length %d, want %d", len(dec2), len(dec))
+		}
+		for i := range dec {
+			if !StrictEqual(dec2[i], dec[i]) {
+				t.Fatalf("value %d: %v re-round-tripped to %v", i, dec[i], dec2[i])
+			}
+		}
+	})
+}

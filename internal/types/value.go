@@ -164,6 +164,33 @@ func Compare(a, b Value) int {
 // Equal reports whether two values are equal under Compare semantics.
 func Equal(a, b Value) bool { return Compare(a, b) == 0 }
 
+// StrictEqual reports whether two values are identical under the
+// grouping-identity semantics of the key codec (AppendKeyValue): the kind
+// tag discriminates first (Int(1), Float(1), and Str("1") are distinct
+// groups even though Compare treats the numerics as equal), floats compare
+// by bit pattern except that all NaNs coincide (they all encode to the
+// same "NaN" text), and +0/-0 stay distinct ("0" vs "-0"). Group routing
+// uses this together with a HashKeys hash vector in place of byte-encoded
+// map keys.
+func StrictEqual(a, b Value) bool {
+	if a.K != b.K {
+		return false
+	}
+	switch a.K {
+	case KindInt:
+		return a.I == b.I
+	case KindFloat:
+		if math.IsNaN(a.F) || math.IsNaN(b.F) {
+			return math.IsNaN(a.F) && math.IsNaN(b.F)
+		}
+		return math.Float64bits(a.F) == math.Float64bits(b.F)
+	case KindString:
+		return a.S == b.S
+	default:
+		return true
+	}
+}
+
 // HashValue folds a value into an FNV-1a hash state. It is exposed so that
 // composite keys can be hashed without intermediate allocation.
 func HashValue(h uint64, v Value) uint64 {
@@ -186,7 +213,14 @@ func HashValue(h uint64, v Value) uint64 {
 			h *= prime
 		}
 	case KindFloat:
-		u := math.Float64bits(v.F)
+		f := v.F
+		if math.IsNaN(f) {
+			// Canonicalize: Compare (and StrictEqual) treat every NaN as
+			// equal, so every NaN payload must hash identically or
+			// equal keys could land in different buckets.
+			f = math.NaN()
+		}
+		u := math.Float64bits(f)
 		for i := 0; i < 8; i++ {
 			h ^= (u >> (8 * i)) & 0xff
 			h *= prime

@@ -36,10 +36,12 @@ check() {
 
 # Pinned budgets (see ROADMAP.md / PR history). An op in the push
 # benchmarks delivers one tuple per side.
-check 'BenchmarkHashTableProbe'           0   # both probe variants: allocation-free
-check 'BenchmarkPipelinedJoinPush/batch'  2   # PR 1 headline: batched push <= 2 allocs/op
-check 'BenchmarkMergeJoinPush/batch'      4   # PR 2: batched ordered merge join
-check 'BenchmarkAggTableAbsorb'           1   # group-by absorb: zero steady-state (1 = headroom)
+check 'BenchmarkHashTableProbe'              0  # both probe variants: allocation-free
+check 'BenchmarkPipelinedJoinPush/batch'     2  # PR 1 headline: batched push <= 2 allocs/op
+check 'BenchmarkPipelinedJoinPush/columnar'  2  # PR 3: columnar push never above the row path
+check 'BenchmarkHashKeys'                    0  # PR 3: vectorized hash kernel reuse path
+check 'BenchmarkMergeJoinPush/batch'         4  # PR 2: batched ordered merge join
+check 'BenchmarkAggTableAbsorb'              1  # group-by absorb: zero steady-state (1 = headroom)
 
 if [ "$fail" -ne 0 ]; then
   echo "check-allocs: allocation budgets regressed" >&2
