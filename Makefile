@@ -27,11 +27,11 @@ test:
 	$(GO) test ./...
 
 # Fast perf smoke: hash-probe, batched/columnar-push, vectorized key
-# hashing, and ordered merge-join hot paths with allocation reporting
-# (these back the PR acceptance criteria).
+# hashing, ordered merge-join, and exchange-partitioning hot paths with
+# allocation reporting (these back the PR acceptance criteria).
 bench-perf:
 	$(GO) test -run='^$$' -bench='BenchmarkHashTableProbe' -benchmem ./internal/state/
-	$(GO) test -run='^$$' -bench='BenchmarkPipelinedJoinPush|BenchmarkMergeJoinPush|BenchmarkAggTableAbsorb|BenchmarkHashKeys' -benchmem ./internal/exec/
+	$(GO) test -run='^$$' -bench='BenchmarkPipelinedJoinPush|BenchmarkMergeJoinPush|BenchmarkAggTableAbsorb|BenchmarkHashKeys|BenchmarkExchangePartition' -benchmem ./internal/exec/
 
 # Short fixed-duration fuzzing of the key codec (the go-native fuzz
 # targets; each -fuzz invocation accepts a single target).

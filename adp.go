@@ -222,6 +222,25 @@ var NewComplementaryJoin = core.NewComplementaryJoin
 // DefaultPQCap is the paper's reorder-buffer capacity.
 const DefaultPQCap = core.DefaultPQCap
 
+// Exchange hash-partitions a tuple stream across partition-parallel
+// pipelines on its key columns (the boundary operator of partitioned
+// execution; Options.Partitions drives the whole machinery end to end,
+// this type is for direct operator assemblies).
+type Exchange = exec.Exchange
+
+// NewExchange builds an exchange over a partition count, key columns, and
+// a per-partition route callback.
+var NewExchange = exec.NewExchange
+
+// ParallelDriver runs one partitioned plan as per-partition pipelines on
+// worker goroutines (advanced; see Options.Partitions for the integrated
+// path).
+type ParallelDriver = exec.ParallelDriver
+
+// NewParallelDriver creates a parallel driver over per-partition
+// execution contexts.
+var NewParallelDriver = exec.NewParallelDriver
+
 // ExecContext carries the virtual clock and cost model for direct operator
 // use.
 type ExecContext = exec.Context

@@ -62,6 +62,32 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+func TestPublicAPIPartitionParallel(t *testing.T) {
+	eng, q := buildDemo()
+	rep, err := eng.Execute(q, adp.Options{Strategy: adp.StrategyStatic, Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partitions != 4 {
+		t.Errorf("partitions = %d, want 4", rep.Partitions)
+	}
+	if len(rep.Phases) != 1 || len(rep.Phases[0].PartitionSeconds) != 4 {
+		t.Fatalf("per-partition clocks not reported: %+v", rep.Phases)
+	}
+	if len(rep.Rows) != 25 {
+		t.Fatalf("%d groups, want 25", len(rep.Rows))
+	}
+	var spend float64
+	var n int64
+	for _, r := range rep.Rows {
+		spend += r[1].AsFloat()
+		n += r[2].AsInt()
+	}
+	if spend != 499*500/2 || n != 500 {
+		t.Errorf("totals wrong: spend=%g n=%d", spend, n)
+	}
+}
+
 func TestPublicAPIPreAggAndRemote(t *testing.T) {
 	eng, q := buildDemo()
 	rel, _ := eng.Relation("orders")

@@ -24,9 +24,10 @@ func main() {
 		sf         = flag.Float64("sf", 0.01, "TPC-H scale factor (paper: 0.1)")
 		seed       = flag.Int64("seed", 42, "generator seed")
 		poll       = flag.Int("poll", 2048, "corrective polling interval (tuples)")
+		partitions = flag.Int("partitions", 1, "partition-parallel width for phase execution (<=1 = serial)")
 	)
 	flag.Parse()
-	cfg := bench.Config{SF: *sf, Seed: *seed, PollEvery: *poll}
+	cfg := bench.Config{SF: *sf, Seed: *seed, PollEvery: *poll, Partitions: *partitions}
 	if err := run(*experiment, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "adpbench:", err)
 		os.Exit(1)

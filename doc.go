@@ -84,9 +84,46 @@
 // invisible: tuple/rows/columnar equivalence tests pin byte-identical
 // output order and identical counters.
 //
+// # Parallel execution
+//
+// Options.Partitions > 1 runs every phase as P hash-partitioned pipeline
+// clones on worker goroutines (partition-parallel execution). The
+// exchange placement follows the plan's key structure:
+//
+//	source ──scatter(join key)──▶ [clone 0: join ⋈ … agg γ] ──▶ merge ┐
+//	source ──scatter(join key)──▶ [clone 1: join ⋈ … agg γ] ──▶ merge ├─▶ output
+//	                                 │ exchange(new key) │            ┘
+//	                                 └──── cross-partition rows ──────┘
+//
+// Each source run is scattered at the driver on the key its consumer
+// joins or groups on (exec.Exchange); every partition owns a full clone
+// of the operator chain with private state.HashTable/AggTable instances
+// (no locks on the per-tuple path) and its own virtual clock. Where the
+// partitioning key changes mid-plan — a join output feeding a join or
+// aggregation on different columns — an exchange inside each clone
+// routes same-partition rows onward synchronously and ships the rest to
+// the owning worker over bounded channels.
+//
+// The determinism contract: equal keys always land in the same
+// partition, so the union of the clones' outputs is exactly the serial
+// plan's output multiset, per-operator counters sum to the serial
+// totals, and aggregate results are identical (each group lives in
+// exactly one partition). Root output is merged in ascending partition
+// order; global interleaving across partitions — and floating-point sums
+// folded from partition partials — may differ from the serial stream,
+// which is why equivalence is pinned as an order-insensitive multiset.
+// Per-partition clocks are reported in PhaseInfo.PartitionSeconds;
+// Report.VirtualSeconds advances to the slowest partition (the parallel
+// makespan) while CPUSeconds accumulates all partitions' charged work.
+// The corrective monitor still runs: polls happen at quiesce points
+// (every in-flight batch fully absorbed — the §4.1 "consistent state"),
+// so plan switching and stitch-up compose with partitioned phases.
+//
 // Continuous integration (.github/workflows/ci.yml, scripts/
 // check_allocs.sh via make check-allocs) pins the hot paths' allocs/op
-// budgets on every push, so these batching wins cannot silently regress.
+// budgets on every push (including the exchange scatter path), and a
+// GOMAXPROCS={1,4} matrix leg checks the parallel executor at both
+// scheduling extremes, so these wins cannot silently regress.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured results; cmd/adpbench regenerates every table and

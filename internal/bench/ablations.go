@@ -57,8 +57,8 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 			[]int{ord.Schema.MustIndexOf("o_orderkey")},
 			pq, exec.SinkFunc(func(types.Tuple) { n++ }))
 		d := exec.NewDriver(ctx,
-			&exec.Leaf{Provider: source.NewProvider(li, nil), Push: cj.PushLeft, PushBatch: cj.PushLeftBatch},
-			&exec.Leaf{Provider: source.NewProvider(ord, nil), Push: cj.PushRight, PushBatch: cj.PushRightBatch},
+			&exec.Leaf{Provider: source.NewProvider(li, nil), Push: cj.PushLeft, PushBatch: cj.PushLeftBatch, PushColBatch: cj.PushLeftColBatch},
+			&exec.Leaf{Provider: source.NewProvider(ord, nil), Push: cj.PushRight, PushBatch: cj.PushRightBatch, PushColBatch: cj.PushRightColBatch},
 		)
 		d.Run(0, nil)
 		cj.Finish()
@@ -104,6 +104,17 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 			Detail:     fmt.Sprintf("wall=%v out=%d", time.Since(start).Round(time.Microsecond), n),
 		})
 	}
+
+	// 2c. Partition scaling: the pipelined hash join run as P
+	// hash-partitioned pipeline clones on worker goroutines (exchange +
+	// parallel driver). Seconds is the virtual makespan — the slowest
+	// partition's clock — which scales down with P, and is reproducible
+	// here because the single-join topology has no cross-partition
+	// exchanges (the driver is each worker's only producer);
+	// Detail's real wall clock should follow on a multi-core host (the
+	// PR 4 acceptance target: ≥ 2× at P=4 with GOMAXPROCS ≥ 4; a
+	// single-core host shows the coordination overhead instead).
+	out = append(out, partitionSweep(uni, []int{1, 2, 4, 8})...)
 
 	// 3. Window adaptation policy: adaptive vs fixed windows on the Q10A
 	// pre-aggregation input (lineitem grouped by order key).

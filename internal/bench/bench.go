@@ -29,6 +29,9 @@ type Config struct {
 	PollEvery int
 	// Queries restricts the workload (nil = all four paper queries).
 	Queries []string
+	// Partitions runs the comparison matrix with partition-parallel
+	// phase execution (core.Options.Partitions); <= 1 is serial.
+	Partitions int
 }
 
 func (c *Config) defaults() {
@@ -123,9 +126,10 @@ func Comparison(cfg Config, wireless bool) ([]CellResult, error) {
 				}
 				cat := core.NewCatalog(ds.d.Relations(), sched)
 				rep, err := core.Run(cat, q, core.Options{
-					Strategy:  v.strategy,
-					Known:     v.known,
-					PollEvery: cfg.PollEvery,
+					Strategy:   v.strategy,
+					Known:      v.known,
+					PollEvery:  cfg.PollEvery,
+					Partitions: cfg.Partitions,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("%s/%s/%s-%s: %w", qname, ds.name, v.label, v.stats, err)

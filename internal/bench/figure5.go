@@ -91,8 +91,8 @@ func runFig5Cell(li, ord *source.Relation, strat string) (*Fig5Result, error) {
 		}
 		cj := core.NewComplementaryJoin(ctx, li.Schema, ord.Schema, lKey, oKey, pq, count)
 		d := exec.NewDriver(ctx,
-			&exec.Leaf{Provider: lp, Push: cj.PushLeft, PushBatch: cj.PushLeftBatch},
-			&exec.Leaf{Provider: op, Push: cj.PushRight, PushBatch: cj.PushRightBatch},
+			&exec.Leaf{Provider: lp, Push: cj.PushLeft, PushBatch: cj.PushLeftBatch, PushColBatch: cj.PushLeftColBatch},
+			&exec.Leaf{Provider: op, Push: cj.PushRight, PushBatch: cj.PushRightBatch, PushColBatch: cj.PushRightColBatch},
 		)
 		d.Run(0, nil)
 		cj.Finish()

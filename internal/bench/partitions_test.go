@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPartitionedJoinScaling pins the partition-parallel contract on the
+// sweep's own fixture: identical join output at every width, and a
+// virtual makespan (deterministic, machine-independent — unlike wall
+// clock, which needs real cores) at least 2x below serial at P=4.
+func TestPartitionedJoinScaling(t *testing.T) {
+	ls, rs := partitionJoinRows(1<<15, 97)
+	out1, v1, _ := runPartitionedJoin(1, ls, rs)
+	for _, parts := range []int{2, 4} {
+		outP, vP, _ := runPartitionedJoin(parts, ls, rs)
+		if outP != out1 {
+			t.Fatalf("P=%d: out=%d, serial %d", parts, outP, out1)
+		}
+		if vP <= 0 || vP >= v1 {
+			t.Errorf("P=%d: virtual makespan %g not below serial %g", parts, vP, v1)
+		}
+		if parts == 4 && vP > v1/2 {
+			t.Errorf("P=4: virtual makespan %g, want <= half of serial %g", vP, v1)
+		}
+	}
+}
+
+// TestAblationsIncludePartitionSweep keeps the sweep wired into the
+// ablation suite the paper-figures command prints.
+func TestAblationsIncludePartitionSweep(t *testing.T) {
+	cfg := Config{SF: 0.001}
+	cfg.defaults()
+	uni, _ := cfg.datasets()
+	rows := partitionSweep(uni, []int{1, 2})
+	if len(rows) != 2 {
+		t.Fatalf("sweep rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Experiment != "partitions" || !strings.Contains(r.Detail, "wall=") {
+			t.Errorf("unexpected sweep row: %+v", r)
+		}
+	}
+}

@@ -87,6 +87,15 @@ type Options struct {
 	// MaterializeAfterJoins is the plan-partitioning breakpoint
 	// (default 3, as in §4.4).
 	MaterializeAfterJoins int
+	// Partitions runs each phase as this many hash-partitioned pipeline
+	// clones on worker goroutines (partition-parallel execution): source
+	// runs scatter on the consumer's join/group key, every partition runs
+	// the full adaptive pipeline over its share with private state, and a
+	// deterministic partition-ordered merge collects root output.
+	// <= 1 executes serially (the default). Plans with no partitionable
+	// shape (single-relation queries) and the PlanPartition strategy fall
+	// back to serial execution automatically.
+	Partitions int
 	// Cost overrides the cost model.
 	Cost *exec.CostModel
 	// OnPoll, when set, observes every monitor decision (diagnostics):
@@ -116,6 +125,14 @@ type PhaseInfo struct {
 	Plan      string
 	Delivered int64
 	Seconds   float64 // virtual seconds spent in this phase
+	// PartitionSeconds reports the virtual seconds each partition
+	// pipeline spent in this phase (partition-parallel runs only); the
+	// phase's Seconds covers the slowest partition — the makespan. When
+	// the plan repartitions mid-pipeline, cross-partition message
+	// interleaving makes these readings scheduling-dependent diagnostics
+	// (see exec.ParallelDriver.FoldClocks); results and counters stay
+	// exact regardless.
+	PartitionSeconds []float64
 }
 
 // Report is the outcome of a run.
@@ -135,6 +152,11 @@ type Report struct {
 	VirtualSeconds float64
 	CPUSeconds     float64
 	RealSeconds    float64
+
+	// Partitions is the partition-parallel width the phases executed with
+	// (0 or 1 = serial). Counters and CPUSeconds aggregate across
+	// partitions; VirtualSeconds reflects the parallel makespan.
+	Partitions int
 
 	// Leaf instrumentation outcomes (when Options.Instrument).
 	Histograms map[string]*stats.Histogram
@@ -325,7 +347,13 @@ func (ex *executor) runPhased() error {
 	}
 	current := initial.Root
 	for {
-		exhausted, next, err := ex.runPhase(current)
+		var exhausted bool
+		var next algebra.Plan
+		if ex.o.Partitions > 1 {
+			exhausted, next, err = ex.runPhaseParallel(current)
+		} else {
+			exhausted, next, err = ex.runPhase(current)
+		}
 		if err != nil {
 			return err
 		}
@@ -336,6 +364,61 @@ func (ex *executor) runPhased() error {
 		current = next
 	}
 	return ex.stitchUp()
+}
+
+// monitorStep makes one corrective-monitor decision over a consistent
+// snapshot of the running phase (observations already recorded): whether
+// to abandon the current plan for a substantially better one (§4.1). It
+// returns the plan to switch to, if any. collision is the running tree's
+// observed bucket-collision cost multiplier.
+func (ex *executor) monitorStep(root algebra.Plan, delivered int64, collision float64) (algebra.Plan, bool) {
+	if ex.o.Strategy != Corrective || len(ex.phases)+1 >= ex.o.MaxPhases {
+		return nil, false
+	}
+	// Cooldown: let the phase reach steady state before judging it —
+	// the monitor needs stable observed rates (§4.1's "stable,
+	// consistent" behaviour under a 1-second interval).
+	if delivered < int64(3*ex.o.PollEvery) {
+		return nil, false
+	}
+	// Only switch while enough data remains for a new plan to matter.
+	var remaining, total float64
+	for _, rel := range ex.q.Relations {
+		tot := ex.estTotalCard(rel.Name)
+		total += tot
+		if c := ex.live[rel.Name]; c < tot {
+			remaining += tot - c
+		}
+	}
+	if total <= 0 || remaining/total < 0.2 {
+		return nil, false
+	}
+	// Price the current plan's remaining work in the optimizer's cost
+	// units, inflated by the plan's observed bucket-collision factor:
+	// hash tables sized from wrong estimates cannot be re-bucketed
+	// (§4.4), and relieving that pain is what a plan switch buys.
+	in := ex.optInputs()
+	curModel, _ := opt.CostPlan(in, root)
+	curRemaining := curModel * collision
+	best, err := opt.Optimize(in)
+	if err != nil {
+		return nil, false
+	}
+	if samePlanShape(best.Root, root) {
+		return nil, false
+	}
+	// A switch is only worthwhile if the candidate (priced over the
+	// remaining data) plus the stitch-up work it induces beats the
+	// current plan substantially (§4.1).
+	penalty := ex.stitchPenalty()
+	switched := best.Cost+penalty < ex.o.SwitchFactor*curRemaining
+	if ex.o.OnPoll != nil {
+		ex.o.OnPoll(curRemaining, best.Cost, penalty, switched)
+	}
+	if switched {
+		return best.Root, true
+	}
+	return nil, false
 }
 
 // runPhase lowers and executes one phase of plan root; it returns whether
@@ -361,39 +444,13 @@ func (ex *executor) runPhase(root algebra.Plan) (exhausted bool, next algebra.Pl
 	phasePassed := map[string]float64{}
 	var leaves []*exec.Leaf
 	for _, rel := range ex.q.Relations {
-		rel := rel
 		entry, ok := tree.Entry[rel.Name]
 		if !ok {
 			return false, nil, fmt.Errorf("core: plan is missing relation %q", rel.Name)
 		}
-		part := state.NewList(rel.Schema)
-		rec.BaseParts[rel.Name] = part
-		var pred func(types.Tuple) bool
-		if p, ok := ex.q.Filters[rel.Name]; ok && p != nil {
-			bound, err := p.BindPred(rel.Schema)
-			if err != nil {
-				return false, nil, err
-			}
-			pred = bound
-		}
-		leaf := &exec.Leaf{
-			Provider: ex.cat.Providers[rel.Name],
-			Pred:     pred,
-			Push: func(t types.Tuple) {
-				part.Insert(t)
-				phasePassed[rel.Name]++
-				entry(t)
-			},
-		}
-		if entryBatch, ok := tree.EntryBatch[rel.Name]; ok {
-			leaf.PushBatch = func(ts []types.Tuple) {
-				part.InsertBatch(ts)
-				phasePassed[rel.Name] += float64(len(ts))
-				entryBatch(ts)
-			}
-		}
-		if ex.o.Instrument {
-			leaf.OnTuple = ex.instrumentFor(rel)
+		leaf, err := ex.wireLeaf(rec, rel, phasePassed, entry, tree.EntryBatch[rel.Name])
+		if err != nil {
+			return false, nil, err
 		}
 		leaves = append(leaves, leaf)
 	}
@@ -402,52 +459,9 @@ func (ex *executor) runPhase(root algebra.Plan) (exhausted bool, next algebra.Pl
 
 	var switchTo algebra.Plan
 	poll := func() bool {
-		ex.recordObservations(tree, leaves, phasePassed)
-		if ex.o.Strategy != Corrective || len(ex.phases)+1 >= ex.o.MaxPhases {
-			return false
-		}
-		// Cooldown: let the phase reach steady state before judging it —
-		// the monitor needs stable observed rates (§4.1's "stable,
-		// consistent" behaviour under a 1-second interval).
-		if driver.Delivered < int64(3*ex.o.PollEvery) {
-			return false
-		}
-		// Only switch while enough data remains for a new plan to matter.
-		var remaining, total float64
-		for _, rel := range ex.q.Relations {
-			tot := ex.estTotalCard(rel.Name)
-			total += tot
-			if c := ex.live[rel.Name]; c < tot {
-				remaining += tot - c
-			}
-		}
-		if total <= 0 || remaining/total < 0.2 {
-			return false
-		}
-		// Price the current plan's remaining work in the optimizer's cost
-		// units, inflated by the plan's observed bucket-collision factor:
-		// hash tables sized from wrong estimates cannot be re-bucketed
-		// (§4.4), and relieving that pain is what a plan switch buys.
-		in := ex.optInputs()
-		curModel, _ := opt.CostPlan(in, root)
-		curRemaining := curModel * treeCollisionFactor(tree)
-		best, err := opt.Optimize(in)
-		if err != nil {
-			return false
-		}
-		if samePlanShape(best.Root, root) {
-			return false
-		}
-		// A switch is only worthwhile if the candidate (priced over the
-		// remaining data) plus the stitch-up work it induces beats the
-		// current plan substantially (§4.1).
-		penalty := ex.stitchPenalty()
-		switched := best.Cost+penalty < ex.o.SwitchFactor*curRemaining
-		if ex.o.OnPoll != nil {
-			ex.o.OnPoll(curRemaining, best.Cost, penalty, switched)
-		}
-		if switched {
-			switchTo = best.Root
+		ex.recordObservations(tree.joinViews(), leaves, phasePassed)
+		if next, ok := ex.monitorStep(root, driver.Delivered, treeCollisionFactor(tree)); ok {
+			switchTo = next
 			return true
 		}
 		return false
@@ -455,7 +469,7 @@ func (ex *executor) runPhase(root algebra.Plan) (exhausted bool, next algebra.Pl
 
 	exhausted = driver.Run(ex.o.PollEvery, poll)
 	tree.Finish()
-	ex.recordObservations(tree, leaves, phasePassed)
+	ex.recordObservations(tree.joinViews(), leaves, phasePassed)
 	// Fold this phase's reads into the completed-phase totals.
 	for _, l := range leaves {
 		ex.consumed[l.Provider.Name()] += float64(l.Read)
@@ -473,6 +487,150 @@ func (ex *executor) runPhase(root algebra.Plan) (exhausted bool, next algebra.Pl
 		Seconds:   ex.ctx.Clock.Now - t0,
 	})
 	return exhausted, switchTo, nil
+}
+
+// runPhaseParallel is runPhase's partition-parallel sibling: the plan is
+// lowered into Options.Partitions pipeline clones (LowerPartitioned), an
+// exec.ParallelDriver scatters each source run across one worker per
+// partition, and the corrective monitor polls at quiesce points — the
+// parallel analogue of §4.1's consistent suspension state. Root output
+// merges into the shared aggregate / result collector in deterministic
+// partition order after the pipelines finish. Plans without a
+// partitionable shape degrade to the serial runPhase.
+func (ex *executor) runPhaseParallel(root algebra.Plan) (exhausted bool, next algebra.Plan, err error) {
+	parts := ex.o.Partitions
+	merge := exec.NewPartitionMerge(parts)
+	pt, lerr := LowerPartitioned(parts, ex.ctx.Cost, root, merge)
+	if lerr != nil {
+		return ex.runPhase(root)
+	}
+	phaseID := len(ex.phases)
+	rec := &PhaseRecord{
+		ID:        phaseID,
+		Plan:      root,
+		BaseParts: map[string]*state.List{},
+		Interm:    map[string]*state.List{},
+	}
+	sink, err := ex.outputSink(root)
+	if err != nil {
+		return false, nil, err
+	}
+	rels := make([]string, len(ex.q.Relations))
+	for i, r := range ex.q.Relations {
+		rels[i] = r.Name
+	}
+	handlers, err := pt.Handlers(rels)
+	if err != nil {
+		return false, nil, err
+	}
+	pd := exec.NewParallelDriver(ex.ctx, pt.Ctxs)
+	pd.Bind(handlers, pt.RunFinisher, pt.FinishSteps())
+	pt.Bind(pd.StageSend, len(rels))
+
+	// Wire leaves exactly like the serial phase — filter pushdown,
+	// base-partition capture, counters all happen on the driver goroutine
+	// — then scatter each post-filter run across the partitions.
+	phasePassed := map[string]float64{}
+	var leaves []*exec.Leaf
+	for i, rel := range ex.q.Relations {
+		scatter := pd.LeafScatter(i, pt.LeafKeys[rel.Name])
+		leaf, err := ex.wireLeaf(rec, rel, phasePassed, scatter.Push, scatter.PushBatch)
+		if err != nil {
+			return false, nil, err
+		}
+		leaves = append(leaves, leaf)
+	}
+	t0 := ex.ctx.Clock.Now
+
+	var switchTo algebra.Plan
+	poll := func() bool {
+		// The parallel driver quiesces the pipelines before every poll,
+		// so per-partition operator state is safe to read here.
+		ex.recordObservations(pt.JoinViews(), leaves, phasePassed)
+		if next, ok := ex.monitorStep(root, pd.Delivered(), pt.CollisionFactor()); ok {
+			switchTo = next
+			return true
+		}
+		return false
+	}
+
+	exhausted = pd.Run(leaves, ex.o.PollEvery, poll)
+	pd.Finish()
+	pd.Close()
+	// Fold partition clocks (makespan + total CPU) into the main clock,
+	// then merge root output into the shared sink in partition order.
+	pd.FoldClocks()
+	merge.Drain(sink)
+	ex.recordObservations(pt.JoinViews(), leaves, phasePassed)
+	for _, l := range leaves {
+		ex.consumed[l.Provider.Name()] += float64(l.Read)
+		ex.passed[l.Provider.Name()] += float64(l.Passed)
+	}
+	// Register merged materialized intermediates for stitch-up reuse —
+	// only the corrective strategy can grow a second phase, so a static
+	// run skips the O(join output) merge entirely.
+	if ex.o.Strategy == Corrective {
+		for key, list := range pt.MergedInterm() {
+			rec.Interm[key] = list
+		}
+	}
+	// Partition clocks run on the absolute virtual timeline (arrivals are
+	// stamped with the driver clock, which carries prior phases' time), so
+	// the per-phase reading is the delta against the phase start.
+	partSecs := make([]float64, parts)
+	for p, c := range pt.Ctxs {
+		if s := c.Clock.Now - t0; s > 0 {
+			partSecs[p] = s
+		}
+	}
+	ex.phases = append(ex.phases, rec)
+	ex.rep.Partitions = parts
+	ex.rep.Phases = append(ex.rep.Phases, PhaseInfo{
+		Plan:             root.String(),
+		Delivered:        pd.Delivered(),
+		Seconds:          ex.ctx.Clock.Now - t0,
+		PartitionSeconds: partSecs,
+	})
+	return exhausted, switchTo, nil
+}
+
+// wireLeaf builds one phase leaf — filter pushdown, base-partition
+// capture into rec, phasePassed counting, optional instrumentation —
+// delivering post-filter tuples to push/pushBatch (the plan entry in a
+// serial phase, the partition scatter in a parallel one). pushBatch may
+// be nil when the target has no batch entry.
+func (ex *executor) wireLeaf(rec *PhaseRecord, rel algebra.RelRef, phasePassed map[string]float64, push func(types.Tuple), pushBatch func([]types.Tuple)) (*exec.Leaf, error) {
+	part := state.NewList(rel.Schema)
+	rec.BaseParts[rel.Name] = part
+	var pred func(types.Tuple) bool
+	if p, ok := ex.q.Filters[rel.Name]; ok && p != nil {
+		bound, err := p.BindPred(rel.Schema)
+		if err != nil {
+			return nil, err
+		}
+		pred = bound
+	}
+	name := rel.Name
+	leaf := &exec.Leaf{
+		Provider: ex.cat.Providers[name],
+		Pred:     pred,
+		Push: func(t types.Tuple) {
+			part.Insert(t)
+			phasePassed[name]++
+			push(t)
+		},
+	}
+	if pushBatch != nil {
+		leaf.PushBatch = func(ts []types.Tuple) {
+			part.InsertBatch(ts)
+			phasePassed[name] += float64(len(ts))
+			pushBatch(ts)
+		}
+	}
+	if ex.o.Instrument {
+		leaf.OnTuple = ex.instrumentFor(rel)
+	}
+	return leaf, nil
 }
 
 // outputSink adapts a phase tree's root layout into the shared group-by
@@ -543,10 +701,34 @@ func (ex *executor) instrumentFor(rel algebra.RelRef) func(types.Tuple) {
 	}
 }
 
+// joinView is the monitor's consistent snapshot of one logical join:
+// identity plus counters, aggregated across partition clones when the
+// phase runs partition-parallel.
+type joinView struct {
+	Key   string
+	Rels  []string
+	Preds []algebra.JoinPred
+
+	Out, InLeft, InRight int64
+}
+
+// joinViews snapshots the tree's join counters for the monitor.
+func (t *Tree) joinViews() []joinView {
+	out := make([]joinView, len(t.Joins))
+	for i, j := range t.Joins {
+		c := j.Node.Counters()
+		out[i] = joinView{
+			Key: j.Key, Rels: j.Rels, Preds: j.Preds,
+			Out: c.Out, InLeft: c.InLeft, InRight: c.InRight,
+		}
+	}
+	return out
+}
+
 // recordObservations publishes runtime statistics into the shared registry
 // (§3.3): source cardinalities, local-filter selectivities, per-
 // subexpression join selectivities, and multiplicative-join flags.
-func (ex *executor) recordObservations(tree *Tree, leaves []*exec.Leaf, phasePassed map[string]float64) {
+func (ex *executor) recordObservations(joins []joinView, leaves []*exec.Leaf, phasePassed map[string]float64) {
 	totRead := map[string]float64{}
 	totPassed := map[string]float64{}
 	for name, v := range ex.consumed {
@@ -565,8 +747,8 @@ func (ex *executor) recordObservations(tree *Tree, leaves []*exec.Leaf, phasePas
 			ex.reg.ObserveExpr(opt.FilterSelKey(name), totPassed[name], totRead[name], l.Provider.Exhausted())
 		}
 	}
-	for _, j := range tree.Joins {
-		out := float64(j.Node.Counters().Out)
+	for _, j := range joins {
+		out := float64(j.Out)
 		prod := 1.0
 		ok := true
 		for _, r := range j.Rels {
@@ -582,8 +764,7 @@ func (ex *executor) recordObservations(tree *Tree, leaves []*exec.Leaf, phasePas
 		}
 		ex.reg.ObserveExpr(j.Key, out, prod, false)
 		// Multiplicative flagging (§4.2): output exceeds both inputs.
-		c := j.Node.Counters()
-		maxIn := math.Max(float64(c.InLeft), float64(c.InRight))
+		maxIn := math.Max(float64(j.InLeft), float64(j.InRight))
 		if maxIn > 100 && out > 1.2*maxIn {
 			for _, p := range j.Preds {
 				ex.reg.FlagMultiplicative(p.String(), out/maxIn)

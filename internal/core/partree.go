@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+
+	"github.com/tukwila/adp/internal/algebra"
+	"github.com/tukwila/adp/internal/exec"
+	"github.com/tukwila/adp/internal/state"
+	"github.com/tukwila/adp/internal/types"
+)
+
+// Partition-parallel lowering. LowerPartitioned compiles one phase plan
+// into P clones of the operator chain — each with its own exec.Context
+// and its own hash/aggregation state, so the hot path needs no locks —
+// stitched together by hash exchanges at partition boundaries:
+//
+//   - source→operator boundaries partition at the driver: each leaf's
+//     partition key (the key columns its consumer joins or groups on,
+//     expressed in the post-filter source layout) is recorded in
+//     LeafKeys, and the parallel driver scatters source runs before any
+//     worker touches them;
+//   - operator→operator boundaries (join output feeding another join or
+//     an aggregation on different columns) get an exec.Exchange inside
+//     each partition clone: same-partition rows continue synchronously,
+//     cross-partition rows ride the parallel runtime. When the producer
+//     is already partitioned on the boundary key — e.g. a join chain on
+//     one shared key — every row hashes back to its own partition and
+//     the exchange degenerates to the local fast path.
+//
+// Equal join keys land in the same partition, so the union of the clones'
+// outputs is exactly the serial plan's output multiset and per-operator
+// counters sum to the serial totals; an aggregation boundary keyed on the
+// group-by columns keeps every group in exactly one partition.
+type ParTree struct {
+	// P is the partition count.
+	P int
+	// Trees holds the per-partition pipeline clones.
+	Trees []*Tree
+	// Ctxs holds each partition's execution context (clock).
+	Ctxs []*exec.Context
+	// LeafKeys maps relation name -> partition key columns in the
+	// post-filter source layout (the driver-side scatter keys).
+	LeafKeys map[string][]int
+
+	// boundaries counts worker-side exchange boundaries; entrySinks[p][b]
+	// is partition p's downstream operator input for boundary b.
+	boundaries  int
+	entrySinks  [][]exec.Sink
+	entryOffset int
+	// send ships cross-partition rows; bound to the parallel runtime by
+	// Bind before execution starts.
+	send func(from, dst, entry int, rows []types.Tuple)
+}
+
+// parLowering is the per-partition boundary installer consulted by
+// Tree.build.
+type parLowering struct {
+	pt   *ParTree
+	p    int
+	next int // next boundary id (walk order is identical per partition)
+}
+
+// sink installs the partition boundary in front of a consumer input.
+// Scan children partition at the driver (recorded in LeafKeys); operator
+// children get an exchange keyed on the consumer's columns.
+func (pl *parLowering) sink(child algebra.Plan, keyCols []int, down exec.Sink) (exec.Sink, error) {
+	if scan, ok := child.(*algebra.ScanPlan); ok {
+		name := scan.Rel.Name
+		if prev, ok := pl.pt.LeafKeys[name]; ok && !slices.Equal(prev, keyCols) {
+			// Identical walks must assign identical keys; a mismatch means
+			// the plan reuses a relation (rejected later by build anyway).
+			return nil, fmt.Errorf("core: relation %q has conflicting partition keys %v and %v", name, prev, keyCols)
+		}
+		pl.pt.LeafKeys[name] = keyCols
+		return down, nil
+	}
+	id := pl.next
+	pl.next++
+	for len(pl.pt.entrySinks) <= pl.p {
+		pl.pt.entrySinks = append(pl.pt.entrySinks, nil)
+	}
+	if got := len(pl.pt.entrySinks[pl.p]); got != id {
+		return nil, fmt.Errorf("core: boundary registration out of order (%d != %d)", got, id)
+	}
+	pl.pt.entrySinks[pl.p] = append(pl.pt.entrySinks[pl.p], down)
+	pt, p := pl.pt, pl.p
+	return exec.NewExchange(pt.P, keyCols, func(dst int, rows []types.Tuple) {
+		if dst == p {
+			exec.PushAll(down, rows)
+			return
+		}
+		pt.send(p, dst, pt.entryOffset+id, rows)
+	}), nil
+}
+
+// LowerPartitioned compiles plan into parts per-partition pipelines, each
+// delivering its root output to merge's corresponding partition buffer.
+// cost (nil = defaults) is shared by all partition clocks. It returns an
+// error when the plan has no partitionable shape — a leaf without a
+// join/group consumer to key on — in which case callers fall back to the
+// serial Lower path.
+func LowerPartitioned(parts int, cost *exec.CostModel, plan algebra.Plan, merge *exec.PartitionMerge) (*ParTree, error) {
+	if parts < 2 {
+		return nil, fmt.Errorf("core: partitioned lowering needs >= 2 partitions, got %d", parts)
+	}
+	pt := &ParTree{P: parts, LeafKeys: map[string][]int{}}
+	for p := 0; p < parts; p++ {
+		ctx := exec.NewContext()
+		if cost != nil {
+			ctx.Cost = cost
+		}
+		t := &Tree{
+			ctx:        ctx,
+			Entry:      map[string]func(types.Tuple){},
+			EntryBatch: map[string]func([]types.Tuple){},
+			EntryCol:   map[string]func(*types.ColBatch){},
+			RootSchema: plan.Schema(),
+			par:        &parLowering{pt: pt, p: p},
+		}
+		if err := t.build(plan, merge.Sink(p)); err != nil {
+			return nil, err
+		}
+		if p == 0 {
+			pt.boundaries = t.par.next
+		} else if t.par.next != pt.boundaries || len(t.finishers) != len(pt.Trees[0].finishers) {
+			return nil, fmt.Errorf("core: partition clones diverged (boundaries %d/%d)", t.par.next, pt.boundaries)
+		}
+		pt.Ctxs = append(pt.Ctxs, ctx)
+		pt.Trees = append(pt.Trees, t)
+	}
+	// Every leaf must have a driver-side partition key: a relation whose
+	// consumer is not a join/group boundary (single-relation plans, scans
+	// under a bare projection) cannot be scattered meaningfully.
+	for name := range pt.Trees[0].Entry {
+		if _, ok := pt.LeafKeys[name]; !ok {
+			return nil, fmt.Errorf("core: relation %q has no partition key (plan not partitionable)", name)
+		}
+	}
+	return pt, nil
+}
+
+// Bind connects the tree's cross-partition exchanges to the parallel
+// runtime: send ships rows from one partition's worker to another's entry,
+// and leafEntries is the number of driver-side leaf entries preceding the
+// boundary entries in the runtime's entry numbering.
+func (pt *ParTree) Bind(send func(from, dst, entry int, rows []types.Tuple), leafEntries int) {
+	pt.send = send
+	pt.entryOffset = leafEntries
+}
+
+// Handlers builds the runtime's per-partition entry table: entries
+// [0, len(rels)) deliver into the named relations' plan entries (in rels
+// order — the same order the caller registers leaves), and entries
+// [len(rels), len(rels)+boundaries) deliver into the exchange boundaries.
+func (pt *ParTree) Handlers(rels []string) ([][]func([]types.Tuple), error) {
+	out := make([][]func([]types.Tuple), pt.P)
+	for p := 0; p < pt.P; p++ {
+		hs := make([]func([]types.Tuple), 0, len(rels)+pt.boundaries)
+		for _, r := range rels {
+			if eb, ok := pt.Trees[p].EntryBatch[r]; ok {
+				hs = append(hs, eb)
+				continue
+			}
+			entry, ok := pt.Trees[p].Entry[r]
+			if !ok {
+				return nil, fmt.Errorf("core: plan is missing relation %q", r)
+			}
+			hs = append(hs, func(ts []types.Tuple) {
+				for _, t := range ts {
+					entry(t)
+				}
+			})
+		}
+		for b := 0; b < pt.boundaries; b++ {
+			sink := pt.entrySinks[p][b]
+			hs = append(hs, func(ts []types.Tuple) { exec.PushAll(sink, ts) })
+		}
+		out[p] = hs
+	}
+	return out, nil
+}
+
+// FinishSteps returns the broadcast finish-round count.
+func (pt *ParTree) FinishSteps() int { return pt.Trees[0].FinishSteps() }
+
+// RunFinisher runs finisher step on partition p's clone (invoked by the
+// parallel runtime on p's worker).
+func (pt *ParTree) RunFinisher(p, step int) { pt.Trees[p].RunFinisher(step) }
+
+// JoinViews aggregates the clones' join counters into one monitor view
+// per logical join: each tuple flows through exactly one clone, so the
+// sums equal what the serial plan's single node would have counted.
+func (pt *ParTree) JoinViews() []joinView {
+	base := pt.Trees[0].Joins
+	out := make([]joinView, len(base))
+	for i, j := range base {
+		out[i] = joinView{Key: j.Key, Rels: j.Rels, Preds: j.Preds}
+		for _, t := range pt.Trees {
+			c := t.Joins[i].Node.Counters()
+			out[i].Out += c.Out
+			out[i].InLeft += c.InLeft
+			out[i].InRight += c.InRight
+		}
+	}
+	return out
+}
+
+// CollisionFactor returns the worst bucket-collision cost multiplier
+// across all partition clones (the §4.4 signal the monitor inflates the
+// current plan's remaining cost by).
+func (pt *ParTree) CollisionFactor() float64 {
+	worst := 1.0
+	for _, t := range pt.Trees {
+		if f := treeCollisionFactor(t); f > worst {
+			worst = f
+		}
+	}
+	return worst
+}
+
+// MergedInterm concatenates the clones' materialized join intermediates
+// into per-expression lists for stitch-up reuse registration (§3.4.2).
+// Call only after the pipeline has quiesced.
+func (pt *ParTree) MergedInterm() map[string]*state.List {
+	out := map[string]*state.List{}
+	for i, j := range pt.Trees[0].Joins {
+		merged := state.NewList(j.ResultBuf.Schema())
+		for _, t := range pt.Trees {
+			merged.InsertBatch(t.Joins[i].ResultBuf.Rows())
+		}
+		out[j.Key] = merged
+	}
+	return out
+}

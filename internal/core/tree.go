@@ -57,6 +57,10 @@ type Tree struct {
 	// HasPreAgg reports that output tuples are in partial layout.
 	HasPreAgg bool
 	finishers []func()
+	// par is set when this tree is one partition clone of a partitioned
+	// lowering (see LowerPartitioned); it installs exchanges at partition
+	// boundaries during build.
+	par *parLowering
 }
 
 // blockingPreAgg adapts an AggTable into a traditional (blocking)
@@ -143,13 +147,27 @@ func (t *Tree) build(p algebra.Plan, out exec.Sink) error {
 		node := exec.NewHashJoin(t.ctx, style, v.Left.Schema(), v.Right.Schema(), lk, rk, &teeSink{buf: buf, out: out})
 		if v.EstLeftCard > 0 || v.EstRightCard > 0 {
 			// Size fixed-bucket tables from the optimizer's estimates
-			// (wrong estimates surface as bucket collisions, §4.4).
-			node.SizeTables(v.EstLeftCard, v.EstRightCard)
+			// (wrong estimates surface as bucket collisions, §4.4). A
+			// partition clone expects its per-partition share.
+			el, er := v.EstLeftCard, v.EstRightCard
+			if t.par != nil {
+				el /= float64(t.par.pt.P)
+				er /= float64(t.par.pt.P)
+			}
+			node.SizeTables(el, er)
 		}
-		if err := t.build(v.Left, node.LeftSink()); err != nil {
+		leftIn, err := t.boundarySink(v.Left, lk, node.LeftSink())
+		if err != nil {
 			return err
 		}
-		if err := t.build(v.Right, node.RightSink()); err != nil {
+		rightIn, err := t.boundarySink(v.Right, rk, node.RightSink())
+		if err != nil {
+			return err
+		}
+		if err := t.build(v.Left, leftIn); err != nil {
+			return err
+		}
+		if err := t.build(v.Right, rightIn); err != nil {
 			return err
 		}
 		t.Joins = append(t.Joins, &TreeJoin{
@@ -170,13 +188,21 @@ func (t *Tree) build(p algebra.Plan, out exec.Sink) error {
 			return fmt.Errorf("core: final aggregation must not appear inside a phase tree (it is shared across phases)")
 		}
 		t.HasPreAgg = true
+		groupCols, err := groupIdx(v.Input.Schema(), v.GroupBy)
+		if err != nil {
+			return err
+		}
 		if v.Windowed {
 			pre, err := exec.NewWindowPreAgg(t.ctx, v.Input.Schema(), v.GroupBy, v.Aggs, out)
 			if err != nil {
 				return err
 			}
 			t.PreAggWindow = pre
-			if err := t.build(v.Input, pre); err != nil {
+			in, err := t.boundarySink(v.Input, groupCols, pre)
+			if err != nil {
+				return err
+			}
+			if err := t.build(v.Input, in); err != nil {
 				return err
 			}
 			// Child-before-parent order: the pre-agg's flush must run
@@ -192,7 +218,11 @@ func (t *Tree) build(p algebra.Plan, out exec.Sink) error {
 		}
 		b := &blockingPreAgg{table: table, out: out}
 		t.preAggBlocking = b
-		if err := t.build(v.Input, table); err != nil {
+		in, err := t.boundarySink(v.Input, groupCols, table)
+		if err != nil {
+			return err
+		}
+		if err := t.build(v.Input, in); err != nil {
 			return err
 		}
 		t.finishers = append(t.finishers, b.flush)
@@ -210,6 +240,29 @@ func (t *Tree) build(p algebra.Plan, out exec.Sink) error {
 	}
 }
 
+// groupIdx resolves group-by column names to positions in the input
+// layout (the partition key of an aggregation boundary).
+func groupIdx(in *types.Schema, groupBy []string) ([]int, error) {
+	cols := make([]int, 0, len(groupBy))
+	for _, g := range groupBy {
+		i := in.IndexOf(g)
+		if i < 0 {
+			return nil, fmt.Errorf("core: group-by column %q not in input %v", g, in.Names())
+		}
+		cols = append(cols, i)
+	}
+	return cols, nil
+}
+
+// boundarySink wraps a consumer input with a partition boundary when this
+// tree is a partition clone; serial lowering passes the sink through.
+func (t *Tree) boundarySink(child algebra.Plan, keyCols []int, down exec.Sink) (exec.Sink, error) {
+	if t.par == nil {
+		return down, nil
+	}
+	return t.par.sink(child, keyCols, down)
+}
+
 // Finish propagates end-of-stream through the tree: pre-aggregates flush
 // first, then joins bottom-up (so drained probes cascade upward).
 func (t *Tree) Finish() {
@@ -217,6 +270,13 @@ func (t *Tree) Finish() {
 		f()
 	}
 }
+
+// FinishSteps returns the number of finisher steps (the partitioned
+// finish protocol runs them as one broadcast round each).
+func (t *Tree) FinishSteps() int { return len(t.finishers) }
+
+// RunFinisher runs finisher step i (child-before-parent order).
+func (t *Tree) RunFinisher(i int) { t.finishers[i]() }
 
 // JoinFor returns the tree's join node materializing exprKey, if any.
 func (t *Tree) JoinFor(exprKey string) (*TreeJoin, bool) {

@@ -63,6 +63,16 @@ func (d *colDelivery) PushColAll(s Sink, b *types.ColBatch) {
 // PushColBatch implements ColBatchSink for Discard.
 func (discardSink) PushColBatch(*types.ColBatch) {}
 
+// ColRows materializes columnar batches into retention-safe row tuples
+// for operators outside this package whose routing logic is inherently
+// row-at-a-time (e.g. the complementary join router). The returned slice
+// is reused across calls (batch contract); the tuples are arena-backed
+// and remain valid forever, so consumers may buffer or retain them.
+type ColRows struct{ d colDelivery }
+
+// Rows converts b, reusing internal storage across calls.
+func (c *ColRows) Rows(b *types.ColBatch) []types.Tuple { return c.d.materialize(b) }
+
 // --- HashJoin ---------------------------------------------------------
 
 // PushColBatch implements ColBatchSink for a join input.

@@ -1,0 +1,117 @@
+package exec
+
+import (
+	"testing"
+
+	"github.com/tukwila/adp/internal/source"
+	"github.com/tukwila/adp/internal/types"
+)
+
+// TestDriverBestLeafTieBreak pins the tie rule: when several leaves'
+// next tuples are available at the same instant, the lowest-index leaf is
+// serviced — and keeps being serviced until a strictly earlier arrival
+// appears elsewhere, so same-time sources drain in leaf order.
+func TestDriverBestLeafTieBreak(t *testing.T) {
+	a := source.NewRelation("a", rSchema, []types.Tuple{rRow(1, 0), rRow(2, 0)})
+	b := source.NewRelation("b", sSchema, []types.Tuple{sRow(1, 0), sRow(2, 0)})
+	var order []string
+	d := NewDriver(NewContext(),
+		&Leaf{Provider: source.NewProvider(a, nil), Push: func(types.Tuple) { order = append(order, "a") }},
+		&Leaf{Provider: source.NewProvider(b, nil), Push: func(types.Tuple) { order = append(order, "b") }},
+	)
+	if best := d.bestLeaf(); best != 0 {
+		t.Fatalf("tie must break to lowest index, got %d", best)
+	}
+	d.Run(0, nil)
+	want := []string{"a", "a", "b", "b"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("delivery order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestDriverFutureArrivalsDoNotBlock pins the difference between "next
+// tuple is in the future" and "exhausted": a pending-future leaf is still
+// the best leaf (the clock jumps forward to it); bestLeaf reports -1 only
+// when every source is exhausted, and Step mirrors that.
+func TestDriverFutureArrivalsDoNotBlock(t *testing.T) {
+	late := source.NewRelation("late", rSchema, []types.Tuple{rRow(1, 0)})
+	later := source.NewRelation("later", sSchema, []types.Tuple{sRow(1, 0)})
+	ctx := NewContext()
+	d := NewDriver(ctx,
+		&Leaf{Provider: source.NewProvider(late, source.Bandwidth{Latency: 5, TuplesPerSec: 1}), Push: func(types.Tuple) {}},
+		&Leaf{Provider: source.NewProvider(later, source.Bandwidth{Latency: 50, TuplesPerSec: 1}), Push: func(types.Tuple) {}},
+	)
+	if best := d.bestLeaf(); best != 0 {
+		t.Fatalf("earliest future arrival must win, got leaf %d", best)
+	}
+	if !d.Step() {
+		t.Fatal("Step must service a future arrival, not report exhaustion")
+	}
+	if ctx.Clock.Now < 5 {
+		t.Errorf("clock should jump to the arrival, now=%g", ctx.Clock.Now)
+	}
+	if best := d.bestLeaf(); best != 1 {
+		t.Fatalf("remaining leaf must be chosen, got %d", best)
+	}
+	if !d.Step() {
+		t.Fatal("second Step must deliver")
+	}
+	if best := d.bestLeaf(); best != -1 {
+		t.Fatalf("all exhausted must yield -1, got %d", best)
+	}
+	if d.Step() {
+		t.Fatal("Step after exhaustion must report false")
+	}
+	if !d.Run(0, nil) {
+		t.Fatal("Run over exhausted sources must report exhaustion")
+	}
+}
+
+// TestDriverPollCadenceExact pins Run's poll arithmetic: poll fires after
+// exactly pollEvery delivered tuples even when the interval is smaller
+// than, and not a divisor of, the internal batch cap — batches are
+// clamped so the monitor never observes a late poll.
+func TestDriverPollCadenceExact(t *testing.T) {
+	const n = 100
+	rows := make([]types.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, rRow(int64(i), 0))
+	}
+	rel := source.NewRelation("r", rSchema, rows)
+	for _, every := range []int{1, 7, 64, 100, 1000} {
+		d := NewDriver(NewContext(), &Leaf{Provider: source.NewProvider(rel, nil), Push: func(types.Tuple) {}})
+		var at []int64
+		exhausted := d.Run(every, func() bool {
+			at = append(at, d.Delivered)
+			return false
+		})
+		rel0 := source.NewProvider(rel, nil)
+		rel0.Reset()
+		if !exhausted {
+			t.Fatalf("every=%d: run must exhaust", every)
+		}
+		want := n / every
+		if len(at) != want {
+			t.Fatalf("every=%d: %d polls (%v), want %d", every, len(at), at, want)
+		}
+		for i, got := range at {
+			if got != int64((i+1)*every) {
+				t.Fatalf("every=%d: poll %d at %d delivered, want %d", every, i, got, (i+1)*every)
+			}
+		}
+		// Fresh provider per interval.
+		rel = source.NewRelation("r", rSchema, rows)
+	}
+}
+
+// TestDriverPollNotCalledWhenNil covers the poll==nil fast path together
+// with a tiny batch budget (pollEvery ignored entirely).
+func TestDriverPollNotCalledWhenNil(t *testing.T) {
+	rel := source.NewRelation("r", rSchema, []types.Tuple{rRow(1, 0), rRow(2, 0)})
+	d := NewDriver(NewContext(), &Leaf{Provider: source.NewProvider(rel, nil), Push: func(types.Tuple) {}})
+	if !d.Run(1, nil) || d.Delivered != 2 {
+		t.Fatalf("nil-poll run broken: delivered=%d", d.Delivered)
+	}
+}

@@ -183,10 +183,18 @@ func (d *Driver) stepBatch(max int, batch *[]types.Tuple) int {
 // source flow to the plan as one batch (capped so poll still fires at
 // exactly every pollEvery tuples read).
 func (d *Driver) Run(pollEvery int, poll func() bool) (exhausted bool) {
-	batch := make([]types.Tuple, 0, DefaultBatch)
+	return d.run(DefaultBatch, pollEvery, poll)
+}
+
+// run is Run with an explicit batch cap (the parallel driver reads with a
+// larger cap to amortize per-message scatter overhead; the cap does not
+// change delivery order, counters, or the clock — batches only extend
+// over already-available same-source tuples).
+func (d *Driver) run(batchCap, pollEvery int, poll func() bool) (exhausted bool) {
+	batch := make([]types.Tuple, 0, batchCap)
 	sincePoll := 0
 	for {
-		budget := DefaultBatch
+		budget := batchCap
 		if poll != nil && pollEvery-sincePoll < budget {
 			budget = pollEvery - sincePoll
 		}

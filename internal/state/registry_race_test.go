@@ -1,0 +1,67 @@
+package state
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/tukwila/adp/internal/types"
+)
+
+// TestRegistryConcurrentPerPartitionRegistration exercises the registry
+// the way the partition-parallel executor can: P workers registering
+// their partition clones' state structures concurrently, interleaved with
+// monitor-side reads (Lookup, Plans, TotalTuples, String). Run under
+// `go test -race` (the CI race job does) this pins the registry's
+// guarding; the structures themselves are single-owner per partition, so
+// only registry bookkeeping is shared.
+func TestRegistryConcurrentPerPartitionRegistration(t *testing.T) {
+	schema := types.NewSchema(types.Column{Name: "x.k", Kind: types.KindInt})
+	reg := NewRegistry()
+	const parts = 8
+	const each = 250
+	var wg sync.WaitGroup
+	for p := 0; p < parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				l := NewList(schema)
+				l.Insert(types.Tuple{types.Int(int64(i))})
+				key := fmt.Sprintf("expr-%d", i%17)
+				e := reg.Register(p, key, 1+i%3, l)
+				if e.Cardinality() != 1 {
+					t.Errorf("entry cardinality = %d", e.Cardinality())
+					return
+				}
+				switch i % 5 {
+				case 0:
+					reg.Lookup(key)
+				case 1:
+					reg.TotalTuples()
+				case 2:
+					reg.Plans()
+				case 3:
+					_ = reg.String()
+				case 4:
+					reg.LookupPlan(p, key)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := len(reg.All()); got != parts*each {
+		t.Fatalf("registered %d entries, want %d", got, parts*each)
+	}
+	if got := len(reg.Plans()); got != parts {
+		t.Fatalf("plans = %d, want %d", got, parts)
+	}
+	if got := reg.TotalTuples(); got != parts*each {
+		t.Fatalf("total tuples = %d, want %d", got, parts*each)
+	}
+	for p := 0; p < parts; p++ {
+		if _, ok := reg.LookupPlan(p, "expr-0"); !ok {
+			t.Errorf("plan %d missing expr-0", p)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package types
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestIdentityConcurrentGrowth pins the shared index prefix's concurrency
+// contract: partition workers request arbitrary widths concurrently (the
+// probe paths of per-partition state all call Identity), growth publishes
+// copy-on-write snapshots, and every returned slice holds exactly
+// [0, 1, ..., n-1]. Run under -race this would flag the old shared-append
+// implementation.
+func TestIdentityConcurrentGrowth(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				n := (g*31 + i*7) % 40
+				cols := Identity(n)
+				if len(cols) != n {
+					t.Errorf("Identity(%d) len = %d", n, len(cols))
+					return
+				}
+				for k, v := range cols {
+					if v != k {
+						t.Errorf("Identity(%d)[%d] = %d", n, k, v)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"sync"
+	"sync/atomic"
 )
 
 // Key codec: a compact, self-framing byte encoding of a tuple's key
@@ -30,21 +32,42 @@ import (
 // keyTerm terminates numeric payloads.
 const keyTerm = 0x00
 
-// identityCols backs Identity; it only ever grows, and handed-out
-// prefixes stay valid across growth (append may move the backing array,
-// but old prefixes keep pointing at the old, still-correct contents).
-var identityCols = []int{0, 1, 2, 3, 4, 5, 6, 7}
+// identityCols backs Identity. It holds an immutable []int snapshot:
+// growth publishes a fresh, longer copy, and handed-out prefixes keep
+// aliasing the old snapshot, whose contents never change. The atomic
+// load/store makes Identity safe from concurrent partition workers (the
+// partition-parallel executor probes per-partition state from P
+// goroutines); identityMu serializes the rare growth path so concurrent
+// growers do not publish regressing lengths.
+var identityCols atomic.Value // []int
+var identityMu sync.Mutex
+
+func init() {
+	identityCols.Store([]int{0, 1, 2, 3, 4, 5, 6, 7})
+}
 
 // Identity returns the shared index prefix [0, 1, ..., n-1]. Key-based
 // operations over ad-hoc key tuples (probe keys, group-value vectors) need
 // exactly this column set, and allocating it per call used to dominate
-// probe-path allocations. The engine executes single-threaded (see package
-// exec's virtual-clock model), so a shared scratch slice is safe.
+// probe-path allocations. The returned slice is read-only shared storage:
+// callers must never write to it.
 func Identity(n int) []int {
-	for len(identityCols) < n {
-		identityCols = append(identityCols, len(identityCols))
+	cols := identityCols.Load().([]int)
+	if n <= len(cols) {
+		return cols[:n]
 	}
-	return identityCols[:n]
+	identityMu.Lock()
+	defer identityMu.Unlock()
+	cols = identityCols.Load().([]int)
+	if n <= len(cols) {
+		return cols[:n]
+	}
+	grown := make([]int, n)
+	for i := range grown {
+		grown[i] = i
+	}
+	identityCols.Store(grown)
+	return grown
 }
 
 // AppendKeyAll appends the encoding of every column of t (the common case

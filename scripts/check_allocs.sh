@@ -42,6 +42,7 @@ check 'BenchmarkPipelinedJoinPush/columnar'  2  # PR 3: columnar push never abov
 check 'BenchmarkHashKeys'                    0  # PR 3: vectorized hash kernel reuse path
 check 'BenchmarkMergeJoinPush/batch'         4  # PR 2: batched ordered merge join
 check 'BenchmarkAggTableAbsorb'              1  # group-by absorb: zero steady-state (1 = headroom)
+check 'BenchmarkExchangePartition'           2  # PR 4: exchange scatter, steady-state <= 2 per batch
 
 if [ "$fail" -ne 0 ]; then
   echo "check-allocs: allocation budgets regressed" >&2
