@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test bench bench-perf check-fmt check-allocs fuzz-short ci
+.PHONY: all vet build test bench bench-perf check-fmt check-allocs fuzz-short examples ci
 
 all: ci
 
@@ -27,11 +27,19 @@ test:
 	$(GO) test ./...
 
 # Fast perf smoke: hash-probe, batched/columnar-push, vectorized key
-# hashing, ordered merge-join, and exchange-partitioning hot paths with
-# allocation reporting (these back the PR acceptance criteria).
+# hashing, ordered merge-join, exchange-partitioning, and streaming
+# cursor delivery hot paths with allocation reporting (these back the PR
+# acceptance criteria).
 bench-perf:
 	$(GO) test -run='^$$' -bench='BenchmarkHashTableProbe' -benchmem ./internal/state/
 	$(GO) test -run='^$$' -bench='BenchmarkPipelinedJoinPush|BenchmarkMergeJoinPush|BenchmarkAggTableAbsorb|BenchmarkHashKeys|BenchmarkExchangePartition' -benchmem ./internal/exec/
+	$(GO) test -run='^$$' -bench='BenchmarkStreamDelivery' -benchmem ./internal/engine/
+
+# Examples gate: the runnable examples must keep building and vetting
+# cleanly (they are real module packages, so rot breaks users first).
+examples:
+	$(GO) build ./examples/...
+	$(GO) vet ./examples/...
 
 # Short fixed-duration fuzzing of the key codec (the go-native fuzz
 # targets; each -fuzz invocation accepts a single target).
@@ -48,4 +56,4 @@ check-allocs:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
 
-ci: check-fmt vet build test fuzz-short check-allocs
+ci: check-fmt vet build test examples fuzz-short check-allocs

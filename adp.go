@@ -189,6 +189,66 @@ type PhaseInfo = core.PhaseInfo
 // FormatRows renders result rows as an aligned text table.
 var FormatRows = engine.FormatRows
 
+// ---- Streaming execution -------------------------------------------------
+
+// Stream is a streaming execution cursor returned by Engine.Stream: root
+// result rows arrive incrementally (Next / Rows) while the run executes
+// in the background, a typed event subscription (Events) narrates the
+// adaptive-execution lifecycle, and Report returns the final execution
+// report. Always Close a stream; see the package documentation's
+// "Streaming results" section for the cursor lifecycle and ordering
+// guarantees.
+type Stream = engine.Stream
+
+// Option is a functional execution option accepted by Engine.Stream,
+// layered over Options.
+type Option = engine.Option
+
+// Functional execution options.
+var (
+	// WithStrategy selects the execution regime.
+	WithStrategy = engine.WithStrategy
+	// WithPartitions sets the partition-parallel width (<= 1 = serial).
+	WithPartitions = engine.WithPartitions
+	// WithPreAgg selects pre-aggregation handling.
+	WithPreAgg = engine.WithPreAgg
+	// WithPollEvery sets the monitor polling / row-flush cadence in
+	// delivered tuples.
+	WithPollEvery = engine.WithPollEvery
+	// WithSwitchFactor sets the corrective switch threshold.
+	WithSwitchFactor = engine.WithSwitchFactor
+	// WithMaxPhases caps corrective phase switching.
+	WithMaxPhases = engine.WithMaxPhases
+	// WithInstrument attaches per-leaf histograms and order detectors.
+	WithInstrument = engine.WithInstrument
+	// WithKnownCardinality records one source-supplied cardinality.
+	WithKnownCardinality = engine.WithKnownCardinality
+	// WithOptions replaces the whole configuration with a prebuilt
+	// Options value (apply first when mixed with other options).
+	WithOptions = engine.WithOptions
+)
+
+// Event is a typed notification from a streaming run; concrete types are
+// PhaseStarted, PlanSwitched, StitchUpStarted, PartitionStats, and
+// RowsDelivered.
+type Event = core.Event
+
+// Streaming run events.
+type (
+	// PhaseStarted marks the start of one execution phase.
+	PhaseStarted = core.PhaseStarted
+	// PlanSwitched reports a corrective-monitor plan switch with the cost
+	// estimates that triggered it (§4.1).
+	PlanSwitched = core.PlanSwitched
+	// StitchUpStarted marks the start of the cross-phase stitch-up (§3.4).
+	StitchUpStarted = core.StitchUpStarted
+	// PartitionStats reports per-partition timing for one completed
+	// partition-parallel phase.
+	PartitionStats = core.PartitionStats
+	// RowsDelivered is a cumulative result-delivery watermark.
+	RowsDelivered = core.RowsDelivered
+)
+
 // ---- Direct operator access (advanced) ----------------------------------
 
 // HashJoin is the binary hash-join push operator (pipelined/symmetric,

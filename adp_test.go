@@ -1,11 +1,66 @@
 package adp_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	adp "github.com/tukwila/adp"
 )
+
+// TestPublicAPIStreaming smokes the streaming cursor through the public
+// surface: functional options, the rows iterator, the event replay, and
+// Execute/Stream equivalence.
+func TestPublicAPIStreaming(t *testing.T) {
+	eng, q := buildDemo()
+	ref, err := eng.Execute(q, adp.Options{Strategy: adp.StrategyCorrective, PollEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := eng.Stream(context.Background(), q,
+		adp.WithStrategy(adp.StrategyCorrective),
+		adp.WithPollEvery(64),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var rows []adp.Tuple
+	for r, rerr := range s.Rows() {
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		rows = append(rows, r)
+	}
+	rep, err := s.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ref.Rows) {
+		t.Fatalf("streamed %d rows, Execute returned %d", len(rows), len(ref.Rows))
+	}
+	for i := range rows {
+		if rows[i].String() != ref.Rows[i].String() {
+			t.Fatalf("row %d: %s vs %s", i, rows[i], ref.Rows[i])
+		}
+	}
+	if rep.VirtualSeconds != ref.VirtualSeconds {
+		t.Errorf("clocks differ: %g vs %g", rep.VirtualSeconds, ref.VirtualSeconds)
+	}
+	var sawPhase bool
+	var final adp.RowsDelivered
+	for ev := range s.Events() {
+		switch e := ev.(type) {
+		case adp.PhaseStarted:
+			sawPhase = true
+		case adp.RowsDelivered:
+			final = e
+		}
+	}
+	if !sawPhase || final.Rows != int64(len(rows)) {
+		t.Errorf("event replay incomplete: phase=%v finalRows=%d want %d", sawPhase, final.Rows, len(rows))
+	}
+}
 
 // buildDemo assembles a tiny orders/customers engine through the public
 // API only — this is the package's integration smoke test.

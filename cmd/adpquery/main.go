@@ -1,48 +1,56 @@
 // Command adpquery runs one workload query over a generated TPC-H-style
 // dataset under a chosen execution strategy and prints the results plus
-// the adaptive-execution report.
+// the adaptive-execution report. With -stream it consumes the streaming
+// cursor instead: rows print as they arrive and the event subscription
+// narrates phase starts, plan switches, and stitch-up live.
 //
 // Usage:
 //
 //	adpquery -query Q10A -strategy corrective -sf 0.01
 //	adpquery -query Q5 -strategy static -cards -skewed
-//	adpquery -query Q3A -strategy corrective -wireless
+//	adpquery -query Q3A -strategy corrective -wireless -stream
+//	adpquery -query Q10 -strategy corrective -partitions 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"github.com/tukwila/adp/internal/algebra"
 	"github.com/tukwila/adp/internal/core"
 	"github.com/tukwila/adp/internal/datagen"
 	"github.com/tukwila/adp/internal/engine"
 	"github.com/tukwila/adp/internal/opt"
 	"github.com/tukwila/adp/internal/source"
+	"github.com/tukwila/adp/internal/types"
 	"github.com/tukwila/adp/internal/workload"
 )
 
 func main() {
 	var (
-		query    = flag.String("query", "Q3A", "workload query (Q3|Q3A|Q10|Q10A|Q5)")
-		strategy = flag.String("strategy", "corrective", "execution strategy (static|corrective|planpart)")
-		sf       = flag.Float64("sf", 0.01, "TPC-H scale factor")
-		seed     = flag.Int64("seed", 42, "generator seed")
-		skewed   = flag.Bool("skewed", false, "use the Zipf-skewed dataset")
-		cards    = flag.Bool("cards", false, "give the optimizer exact cardinalities")
-		wireless = flag.Bool("wireless", false, "deliver sources over a simulated bursty link")
-		preagg   = flag.String("preagg", "none", "pre-aggregation (none|windowed|traditional)")
-		limit    = flag.Int("limit", 10, "result rows to print")
-		poll     = flag.Int("poll", 2048, "corrective polling interval (tuples)")
+		query      = flag.String("query", "Q3A", "workload query (Q3|Q3A|Q10|Q10A|Q5)")
+		strategy   = flag.String("strategy", "corrective", "execution strategy (static|corrective|planpart)")
+		sf         = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		seed       = flag.Int64("seed", 42, "generator seed")
+		skewed     = flag.Bool("skewed", false, "use the Zipf-skewed dataset")
+		cards      = flag.Bool("cards", false, "give the optimizer exact cardinalities")
+		wireless   = flag.Bool("wireless", false, "deliver sources over a simulated bursty link")
+		preagg     = flag.String("preagg", "none", "pre-aggregation (none|windowed|traditional)")
+		limit      = flag.Int("limit", 10, "result rows to print")
+		poll       = flag.Int("poll", 2048, "corrective polling interval (tuples)")
+		partitions = flag.Int("partitions", 1, "partition-parallel width for phase execution (<=1 = serial)")
+		stream     = flag.Bool("stream", false, "consume the streaming cursor: live rows + adaptive-event progress")
 	)
 	flag.Parse()
-	if err := run(*query, *strategy, *sf, *seed, *skewed, *cards, *wireless, *preagg, *limit, *poll); err != nil {
+	if err := run(*query, *strategy, *sf, *seed, *skewed, *cards, *wireless, *preagg, *limit, *poll, *partitions, *stream); err != nil {
 		fmt.Fprintln(os.Stderr, "adpquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(query, strategy string, sf float64, seed int64, skewed, cards, wireless bool, preagg string, limit, poll int) error {
+func run(query, strategy string, sf float64, seed int64, skewed, cards, wireless bool, preagg string, limit, poll, partitions int, stream bool) error {
 	q, err := workload.ByName(query)
 	if err != nil {
 		return err
@@ -72,18 +80,25 @@ func run(query, strategy string, sf float64, seed int64, skewed, cards, wireless
 
 	fmt.Printf("generating TPC-H sf=%g (skewed=%v) ...\n", sf, skewed)
 	d := datagen.Generate(datagen.Config{ScaleFactor: sf, Seed: seed, Skewed: skewed, Z: datagen.DefaultZ})
-	var sched func(rel *source.Relation) source.Schedule
-	if wireless {
-		sched = func(rel *source.Relation) source.Schedule {
-			return source.NewBursty(rel.Len(), 1_000_000, 8000, 0.01, seed+int64(rel.Len()))
+	eng := engine.New()
+	for _, rel := range d.Relations() {
+		if wireless {
+			eng.RegisterRemote(rel, source.NewBursty(rel.Len(), 1_000_000, 8000, 0.01, seed+int64(rel.Len())))
+		} else {
+			eng.Register(rel)
 		}
 	}
-	cat := core.NewCatalog(d.Relations(), sched)
-	o := core.Options{Strategy: strat, PollEvery: poll, PreAgg: pa}
+	o := core.Options{Strategy: strat, PollEvery: poll, PreAgg: pa, Partitions: partitions}
 	if cards {
 		o.Known = workload.KnownCards(d)
 	}
-	rep, err := core.Run(cat, q, o)
+
+	var rep *core.Report
+	if stream {
+		rep, err = runStreaming(eng, q, o, limit)
+	} else {
+		rep, err = eng.Execute(q, o)
+	}
 	if err != nil {
 		return err
 	}
@@ -102,4 +117,49 @@ func run(query, strategy string, sf float64, seed int64, skewed, cards, wireless
 			rep.StitchTime, rep.StitchCombos, rep.Reused, rep.Discarded)
 	}
 	return nil
+}
+
+// runStreaming consumes the streaming cursor: the event subscription
+// prints adaptive-execution progress as it happens, and rows are counted
+// (and a prefix echoed) as they arrive — before the run completes.
+func runStreaming(eng *engine.Engine, q *algebra.Query, o core.Options, limit int) (*core.Report, error) {
+	s, err := eng.Stream(context.Background(), q, engine.WithOptions(o))
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	events := s.Events()
+	eventsDone := make(chan struct{})
+	go func() {
+		defer close(eventsDone)
+		for ev := range events {
+			switch e := ev.(type) {
+			case core.PhaseStarted:
+				fmt.Printf("[%8.3fs] phase %d started (P=%d): %s\n", e.VirtualSeconds, e.Phase, e.Partitions, e.Plan)
+			case core.PlanSwitched:
+				fmt.Printf("[%8.3fs] plan switch: cand %.3g + stitch %.3g < %.3g remaining\n             %s\n          -> %s\n",
+					e.VirtualSeconds, e.CandidateCost, e.StitchPenalty, e.CurrentRemaining, e.From, e.To)
+			case core.StitchUpStarted:
+				fmt.Printf("[%8.3fs] stitch-up over %d phases\n", e.VirtualSeconds, e.Phases)
+			case core.PartitionStats:
+				fmt.Printf("[%8.3fs] phase %d partition seconds: %v\n", e.VirtualSeconds, e.Phase, e.Seconds)
+			case core.RowsDelivered:
+				fmt.Printf("[%8.3fs] %d rows delivered\n", e.VirtualSeconds, e.Rows)
+			}
+		}
+	}()
+	shown := 0
+	for tup, rerr := range s.Rows() {
+		if rerr != nil {
+			<-eventsDone
+			return nil, rerr
+		}
+		if shown < limit {
+			fmt.Printf("  row %d: %s\n", shown, types.Tuple(tup))
+			shown++
+		}
+	}
+	rep, err := s.Report()
+	<-eventsDone // event channel closes once the finished log is drained
+	return rep, err
 }

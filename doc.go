@@ -39,6 +39,48 @@
 // The Report carries result rows plus the execution narrative: phases run,
 // plans used, stitch-up time, and tuples reused from prior phases.
 //
+// # Streaming results
+//
+// Execute blocks until the run ends. Engine.Stream is the streaming
+// entry point — the engine's one true execution path, of which Execute
+// is a thin consumer — returning a cursor whose rows arrive while the
+// run executes:
+//
+//	s, err := eng.Stream(ctx, q,
+//		adp.WithStrategy(adp.StrategyCorrective),
+//		adp.WithPartitions(4),
+//		adp.WithPollEvery(1024))
+//	defer s.Close()
+//	for row, err := range s.Rows() { … }   // or s.Next()
+//	report, err := s.Report()
+//
+// Cursor lifecycle: Stream validates synchronously and starts the run on
+// a background goroutine; Rows/Next deliver result rows (single
+// consumer); Report drains the cursor, waits for completion, and returns
+// the final report; Close — always call it — cancels a still-running
+// query and joins every goroutine the run started. Canceling ctx has the
+// same effect mid-flight: drivers observe cancellation at batch
+// boundaries, partition workers quiesce and drain, the stitch-up loop
+// stops between combinations, and Err reports context.Canceled.
+//
+// Delivery guarantees: rows arrive in result order, exactly once, and
+// concatenate to exactly Execute's Report.Rows — streaming never
+// perturbs execution (same rows, counters, and virtual clocks, pinned by
+// equivalence tests). Select-project-join queries deliver first rows
+// mid-run, at monitor-poll boundaries and phase ends (a
+// partition-parallel phase releases its rows at the phase's
+// deterministic partition-ordered merge); aggregate queries are blocking
+// by nature and release all groups at completion.
+//
+// Stream.Events exposes the adaptive-execution lifecycle as typed events:
+// PhaseStarted, PlanSwitched (with the §4.1 cost estimates that
+// triggered the switch), StitchUpStarted, PartitionStats, and
+// RowsDelivered watermarks. Events for one run are totally ordered —
+// a corrective run that switches emits PhaseStarted(0) → PlanSwitched →
+// PhaseStarted(1) → … → StitchUpStarted — and every subscription replays
+// the sequence from the start of the run, so late subscribers miss
+// nothing. Event emission never blocks execution.
+//
 // # Batched push execution
 //
 // The execution engine is vectorized end to end: every hot-path operator

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/tukwila/adp/internal/algebra"
+	"github.com/tukwila/adp/internal/source"
+	"github.com/tukwila/adp/internal/types"
+)
+
+// misestimationFixture builds the A⋈B multiplicative / A⋈C selective
+// query with misleading advertised cardinalities: the optimizer starts on
+// the exploding join and the corrective monitor reliably switches once
+// (serial and partitioned), giving a deterministic phase-1 → switch →
+// phase-2 → stitch-up lifecycle for event and cancellation tests.
+func misestimationFixture(n int) (*algebra.Query, func() *Catalog) {
+	aRows := make([]types.Tuple, n)
+	for i := range aRows {
+		aRows[i] = types.Tuple{types.Int(int64(i)), types.Int(int64(i % 5))}
+	}
+	bRows := make([]types.Tuple, 1200)
+	for i := range bRows {
+		bRows[i] = types.Tuple{types.Int(int64(i % 5))}
+	}
+	cRows := make([]types.Tuple, n)
+	for i := range cRows {
+		cRows[i] = types.Tuple{types.Int(int64(i))}
+	}
+	aS := types.NewSchema(types.Column{Name: "A.k", Kind: types.KindInt}, types.Column{Name: "A.fk", Kind: types.KindInt})
+	bS := types.NewSchema(types.Column{Name: "B.k", Kind: types.KindInt})
+	cS := types.NewSchema(types.Column{Name: "C.k", Kind: types.KindInt})
+	q := &algebra.Query{
+		Name: "mis",
+		Relations: []algebra.RelRef{
+			{Name: "A", Schema: aS}, {Name: "B", Schema: bS}, {Name: "C", Schema: cS},
+		},
+		Joins: []algebra.JoinPred{
+			{LeftRel: "A", LeftCol: "fk", RightRel: "B", RightCol: "k"},
+			{LeftRel: "A", LeftCol: "k", RightRel: "C", RightCol: "k"},
+		},
+		GroupBy: []string{"C.k"},
+		Aggs:    []algebra.AggSpec{{Kind: algebra.AggCount, As: "n"}},
+	}
+	cat := func() *Catalog {
+		return catalogOf(
+			source.NewRelation("A", aS, aRows),
+			source.NewRelation("B", bS, bRows),
+			source.NewRelation("C", cS, cRows),
+		)
+	}
+	return q, cat
+}
+
+// misOptions is the forced-switching configuration for the fixture.
+func misOptions(parts int) Options {
+	return Options{Strategy: Corrective, PollEvery: 200, MaxPhases: 4, Partitions: parts}
+}
+
+// assertNoGoroutineLeak waits (bounded) for the goroutine count to drop
+// back to the baseline captured before the run — a canceled run must join
+// every partition worker it started.
+func assertNoGoroutineLeak(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<18)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d goroutines, baseline %d\n%s",
+				runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestStreamEventOrdering pins the event narrative of a forced corrective
+// switch: PhaseStarted(0) → PlanSwitched → PhaseStarted(1) →
+// StitchUpStarted, with the closing RowsDelivered watermark matching the
+// report, for serial and partitioned runs.
+func TestStreamEventOrdering(t *testing.T) {
+	for _, parts := range []int{1, 4} {
+		t.Run(fmt.Sprintf("partitions=%d", parts), func(t *testing.T) {
+			q, cat := misestimationFixture(2000)
+			var events []Event
+			rep, err := RunStream(context.Background(), cat(), q, misOptions(parts), RunHooks{
+				Emit: func(ev Event) { events = append(events, ev) },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Switches == 0 {
+				t.Fatal("fixture no longer forces a switch; events untestable")
+			}
+			// Collect the lifecycle order (phase/switch/stitch only).
+			var order []string
+			phases := 0
+			var switched, stitched bool
+			for _, ev := range events {
+				switch e := ev.(type) {
+				case PhaseStarted:
+					if e.Phase != phases {
+						t.Errorf("PhaseStarted out of order: got phase %d, want %d", e.Phase, phases)
+					}
+					if e.Partitions != parts {
+						t.Errorf("PhaseStarted.Partitions = %d, want %d", e.Partitions, parts)
+					}
+					phases++
+					order = append(order, fmt.Sprintf("phase%d", e.Phase))
+				case PlanSwitched:
+					switched = true
+					if e.From == "" || e.To == "" || e.From == e.To {
+						t.Errorf("PlanSwitched plans: %q -> %q", e.From, e.To)
+					}
+					if !(e.CandidateCost+e.StitchPenalty < e.CurrentRemaining) {
+						t.Errorf("switch fired without a cost advantage: cand=%g pen=%g cur=%g",
+							e.CandidateCost, e.StitchPenalty, e.CurrentRemaining)
+					}
+					order = append(order, "switch")
+				case StitchUpStarted:
+					stitched = true
+					if e.Phases != len(rep.Phases) {
+						t.Errorf("StitchUpStarted.Phases = %d, want %d", e.Phases, len(rep.Phases))
+					}
+					order = append(order, "stitch")
+				}
+			}
+			if !switched || !stitched {
+				t.Fatalf("lifecycle incomplete: switched=%v stitched=%v (%v)", switched, stitched, order)
+			}
+			want := []string{"phase0", "switch", "phase1", "stitch"}
+			if len(order) != len(want) {
+				t.Fatalf("lifecycle order = %v, want %v", order, want)
+			}
+			for i := range want {
+				if order[i] != want[i] {
+					t.Fatalf("lifecycle order = %v, want %v", order, want)
+				}
+			}
+			if phases != len(rep.Phases) {
+				t.Errorf("PhaseStarted count %d != report phases %d", phases, len(rep.Phases))
+			}
+			// The closing watermark reports the full (aggregate) result.
+			last, ok := events[len(events)-1].(RowsDelivered)
+			if !ok || last.Rows != int64(len(rep.Rows)) {
+				t.Errorf("final event %#v, want RowsDelivered with %d rows", events[len(events)-1], len(rep.Rows))
+			}
+			if parts > 1 {
+				sawStats := false
+				for _, ev := range events {
+					if ps, ok := ev.(PartitionStats); ok {
+						sawStats = true
+						if len(ps.Seconds) != parts {
+							t.Errorf("PartitionStats has %d entries, want %d", len(ps.Seconds), parts)
+						}
+					}
+				}
+				if !sawStats {
+					t.Error("partitioned run emitted no PartitionStats")
+				}
+			}
+		})
+	}
+}
+
+// TestCancelDuringPhase cancels mid-phase-1 (from the monitor poll, with
+// the pipeline quiesced) and asserts a clean unwind: ctx error returned,
+// no goroutines leaked — for the serial and the 4-partition executor.
+func TestCancelDuringPhase(t *testing.T) {
+	for _, parts := range []int{1, 4} {
+		t.Run(fmt.Sprintf("partitions=%d", parts), func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			q, cat := misestimationFixture(2000)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			o := misOptions(parts)
+			polls := 0
+			o.OnPoll = func(cur, cand, pen float64, switched bool) {
+				polls++
+				if polls == 1 {
+					cancel()
+				}
+			}
+			rep, err := RunStream(ctx, cat(), q, o, RunHooks{})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if rep != nil {
+				t.Error("canceled run returned a report")
+			}
+			if polls == 0 {
+				t.Fatal("cancel hook never fired; cancellation untested")
+			}
+			assertNoGoroutineLeak(t, base)
+		})
+	}
+}
+
+// TestCancelDuringPlanSwitch cancels at the PlanSwitched event — between
+// the monitor decision and the next phase — and asserts the next phase
+// never starts.
+func TestCancelDuringPlanSwitch(t *testing.T) {
+	for _, parts := range []int{1, 4} {
+		t.Run(fmt.Sprintf("partitions=%d", parts), func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			q, cat := misestimationFixture(2000)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			sawSwitch := false
+			phases := 0
+			_, err := RunStream(ctx, cat(), q, misOptions(parts), RunHooks{
+				Emit: func(ev Event) {
+					switch ev.(type) {
+					case PlanSwitched:
+						sawSwitch = true
+						cancel()
+					case PhaseStarted:
+						phases++
+					}
+				},
+			})
+			if !sawSwitch {
+				t.Fatal("fixture no longer forces a switch; cancellation untested")
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if phases != 1 {
+				t.Errorf("phases started after cancel-at-switch: %d, want 1", phases)
+			}
+			assertNoGoroutineLeak(t, base)
+		})
+	}
+}
+
+// TestCancelDuringStitchUp cancels at the StitchUpStarted event; the
+// stitch-up loop must abandon its combination enumeration.
+func TestCancelDuringStitchUp(t *testing.T) {
+	for _, parts := range []int{1, 4} {
+		t.Run(fmt.Sprintf("partitions=%d", parts), func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			q, cat := misestimationFixture(2000)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			sawStitch := false
+			_, err := RunStream(ctx, cat(), q, misOptions(parts), RunHooks{
+				Emit: func(ev Event) {
+					if _, ok := ev.(StitchUpStarted); ok {
+						sawStitch = true
+						cancel()
+					}
+				},
+			})
+			if !sawStitch {
+				t.Fatal("fixture never reached stitch-up; cancellation untested")
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			assertNoGoroutineLeak(t, base)
+		})
+	}
+}
+
+// TestCancelBeforeRun: an already-canceled context aborts before any
+// phase executes.
+func TestCancelBeforeRun(t *testing.T) {
+	q, cat := misestimationFixture(200)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	phases := 0
+	_, err := RunStream(ctx, cat(), q, misOptions(1), RunHooks{
+		Emit: func(ev Event) {
+			if _, ok := ev.(PhaseStarted); ok {
+				phases++
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if phases != 0 {
+		t.Errorf("%d phases started under a dead context", phases)
+	}
+}
+
+// TestRunStreamHooksDoNotPerturbExecution pins the streaming equivalence
+// contract at the core layer: a run with all hooks attached produces
+// byte-identical rows, counters, and clocks to a hook-free run.
+func TestRunStreamHooksDoNotPerturbExecution(t *testing.T) {
+	for _, parts := range []int{1, 4} {
+		q, cat := misestimationFixture(1500)
+		plain, err := Run(cat(), q, misOptions(parts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rows []types.Tuple
+		hooked, err := RunStream(context.Background(), cat(), q, misOptions(parts), RunHooks{
+			Emit:     func(Event) {},
+			OnSchema: func(*types.Schema) {},
+			OnRows:   func(b []types.Tuple) { rows = append(rows, b...) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plain.Rows) != len(hooked.Rows) || len(rows) != len(plain.Rows) {
+			t.Fatalf("parts=%d rows: plain=%d hooked=%d streamed=%d",
+				parts, len(plain.Rows), len(hooked.Rows), len(rows))
+		}
+		for i := range plain.Rows {
+			if plain.Rows[i].String() != hooked.Rows[i].String() || plain.Rows[i].String() != rows[i].String() {
+				t.Fatalf("parts=%d row %d differs", parts, i)
+			}
+		}
+		if plain.CPUSeconds != hooked.CPUSeconds {
+			t.Errorf("parts=%d CPU clocks differ: %g vs %g", parts, plain.CPUSeconds, hooked.CPUSeconds)
+		}
+		// The serial virtual clock is exactly reproducible. The parallel
+		// makespan is scheduling-dependent run-to-run with or without
+		// hooks (see exec.ParallelDriver.FoldClocks), so it only gets a
+		// boundedness check.
+		if parts == 1 {
+			if plain.VirtualSeconds != hooked.VirtualSeconds {
+				t.Errorf("virtual clocks differ: %g vs %g", plain.VirtualSeconds, hooked.VirtualSeconds)
+			}
+		} else if diff := plain.VirtualSeconds - hooked.VirtualSeconds; diff > 0.1*plain.VirtualSeconds || -diff > 0.1*plain.VirtualSeconds {
+			t.Errorf("parts=%d virtual clocks diverge: %g vs %g", parts, plain.VirtualSeconds, hooked.VirtualSeconds)
+		}
+		if plain.Switches != hooked.Switches || plain.StitchCombos != hooked.StitchCombos ||
+			plain.Reused != hooked.Reused || plain.Discarded != hooked.Discarded {
+			t.Errorf("parts=%d counters differ: %+v vs %+v", parts, plain, hooked)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -171,6 +172,14 @@ type executor struct {
 	ctx *exec.Context
 	reg *stats.Registry
 
+	// runCtx carries cancellation for the whole run; hooks observe it
+	// (streaming). sentRows tracks how much of spjRows has been flushed
+	// to the OnRows hook; schemaSent latches the one-shot OnSchema.
+	runCtx     context.Context
+	hooks      RunHooks
+	sentRows   int
+	schemaSent bool
+
 	fullSchema *types.Schema
 	agg        *exec.AggTable // shared group-by across phases (nil for SPJ)
 	spjRows    []types.Tuple
@@ -184,8 +193,25 @@ type executor struct {
 	rep *Report
 }
 
-// Run executes query q over the catalog with the selected strategy.
+// Run executes query q over the catalog with the selected strategy,
+// blocking until completion. It is RunStream with no hooks and no
+// cancellation — there is exactly one execution code path.
 func Run(cat *Catalog, q *algebra.Query, o Options) (*Report, error) {
+	return RunStream(context.Background(), cat, q, o, RunHooks{})
+}
+
+// RunStream executes query q over the catalog with the selected strategy,
+// observing ctx for cancellation and reporting progress through hooks
+// (events, incremental root rows, the output schema). Cancellation is
+// honored at batch boundaries in the source drivers, between phases, and
+// between stitch-up combinations; a canceled run returns ctx.Err() with
+// all partition workers joined. The hooks never perturb execution: a run
+// with hooks produces byte-identical rows, counters, and clocks to one
+// without.
+func RunStream(ctx context.Context, cat *Catalog, q *algebra.Query, o Options, hooks RunHooks) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	o.defaults()
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -202,6 +228,8 @@ func Run(cat *Catalog, q *algebra.Query, o Options) (*Report, error) {
 		o:        o,
 		ctx:      exec.NewContext(),
 		reg:      stats.NewRegistry(),
+		runCtx:   ctx,
+		hooks:    hooks,
 		consumed: map[string]float64{},
 		passed:   map[string]float64{},
 		live:     map[string]float64{},
@@ -237,8 +265,11 @@ func Run(cat *Catalog, q *algebra.Query, o Options) (*Report, error) {
 
 	var err error
 	if o.Strategy == PlanPartition {
+		// runPlanPartition announces the schema itself: stage-2
+		// re-optimization renames columns, reshaping the output.
 		err = ex.runPlanPartition()
 	} else {
+		ex.announceSchema(ex.outSchema)
 		err = ex.runPhased()
 	}
 	if err != nil {
@@ -254,6 +285,7 @@ func Run(cat *Catalog, q *algebra.Query, o Options) (*Report, error) {
 	ex.rep.VirtualSeconds = ex.ctx.Clock.Now
 	ex.rep.CPUSeconds = ex.ctx.Clock.CPU
 	ex.rep.RealSeconds = time.Since(start).Seconds()
+	ex.flushFinal()
 	return ex.rep, nil
 }
 
@@ -347,6 +379,9 @@ func (ex *executor) runPhased() error {
 	}
 	current := initial.Root
 	for {
+		if cerr := ex.runCtx.Err(); cerr != nil {
+			return cerr
+		}
 		var exhausted bool
 		var next algebra.Plan
 		if ex.o.Partitions > 1 {
@@ -416,6 +451,15 @@ func (ex *executor) monitorStep(root algebra.Plan, delivered int64, collision fl
 		ex.o.OnPoll(curRemaining, best.Cost, penalty, switched)
 	}
 	if switched {
+		ex.emit(PlanSwitched{
+			Phase:            len(ex.phases),
+			From:             root.String(),
+			To:               best.Root.String(),
+			CurrentRemaining: curRemaining,
+			CandidateCost:    best.Cost,
+			StitchPenalty:    penalty,
+			VirtualSeconds:   ex.ctx.Clock.Now,
+		})
 		return best.Root, true
 	}
 	return nil, false
@@ -456,9 +500,11 @@ func (ex *executor) runPhase(root algebra.Plan) (exhausted bool, next algebra.Pl
 	}
 	driver := exec.NewDriver(ex.ctx, leaves...)
 	t0 := ex.ctx.Clock.Now
+	ex.emit(PhaseStarted{Phase: phaseID, Plan: root.String(), Partitions: 1, VirtualSeconds: t0})
 
 	var switchTo algebra.Plan
 	poll := func() bool {
+		ex.flushRows()
 		ex.recordObservations(tree.joinViews(), leaves, phasePassed)
 		if next, ok := ex.monitorStep(root, driver.Delivered, treeCollisionFactor(tree)); ok {
 			switchTo = next
@@ -467,7 +513,10 @@ func (ex *executor) runPhase(root algebra.Plan) (exhausted bool, next algebra.Pl
 		return false
 	}
 
-	exhausted = driver.Run(ex.o.PollEvery, poll)
+	exhausted, rerr := driver.RunContext(ex.runCtx, ex.o.PollEvery, poll)
+	if rerr != nil {
+		return false, nil, rerr
+	}
 	tree.Finish()
 	ex.recordObservations(tree.joinViews(), leaves, phasePassed)
 	// Fold this phase's reads into the completed-phase totals.
@@ -486,6 +535,7 @@ func (ex *executor) runPhase(root algebra.Plan) (exhausted bool, next algebra.Pl
 		Delivered: driver.Delivered,
 		Seconds:   ex.ctx.Clock.Now - t0,
 	})
+	ex.flushRows()
 	return exhausted, switchTo, nil
 }
 
@@ -541,11 +591,15 @@ func (ex *executor) runPhaseParallel(root algebra.Plan) (exhausted bool, next al
 		leaves = append(leaves, leaf)
 	}
 	t0 := ex.ctx.Clock.Now
+	ex.emit(PhaseStarted{Phase: phaseID, Plan: root.String(), Partitions: parts, VirtualSeconds: t0})
 
 	var switchTo algebra.Plan
 	poll := func() bool {
 		// The parallel driver quiesces the pipelines before every poll,
-		// so per-partition operator state is safe to read here.
+		// so per-partition operator state is safe to read here. Root rows
+		// produced so far sit in the partition merge buffers (they drain
+		// after the phase), so SPJ rows flush per phase here, not per
+		// poll.
 		ex.recordObservations(pt.JoinViews(), leaves, phasePassed)
 		if next, ok := ex.monitorStep(root, pd.Delivered(), pt.CollisionFactor()); ok {
 			switchTo = next
@@ -554,7 +608,13 @@ func (ex *executor) runPhaseParallel(root algebra.Plan) (exhausted bool, next al
 		return false
 	}
 
-	exhausted = pd.Run(leaves, ex.o.PollEvery, poll)
+	exhausted, rerr := pd.RunContext(ex.runCtx, leaves, ex.o.PollEvery, poll)
+	if rerr != nil {
+		// Canceled mid-phase: the pipelines have quiesced; join the
+		// workers before unwinding so nothing leaks.
+		pd.Close()
+		return false, nil, rerr
+	}
 	pd.Finish()
 	pd.Close()
 	// Fold partition clocks (makespan + total CPU) into the main clock,
@@ -591,6 +651,13 @@ func (ex *executor) runPhaseParallel(root algebra.Plan) (exhausted bool, next al
 		Seconds:          ex.ctx.Clock.Now - t0,
 		PartitionSeconds: partSecs,
 	})
+	ex.emit(PartitionStats{
+		Phase:          phaseID,
+		Delivered:      pd.Delivered(),
+		Seconds:        partSecs,
+		VirtualSeconds: ex.ctx.Clock.Now,
+	})
+	ex.flushRows()
 	return exhausted, switchTo, nil
 }
 
@@ -836,7 +903,8 @@ func (ex *executor) stitchUp() error {
 	}
 	fwd.out = sink
 	s.DisableReuse = ex.o.DisableStitchReuse
-	if err := s.Run(); err != nil {
+	ex.emit(StitchUpStarted{Phases: len(ex.phases), VirtualSeconds: t0})
+	if err := s.RunContext(ex.runCtx); err != nil {
 		return err
 	}
 	ex.rep.StitchTime = ex.ctx.Clock.Now - t0

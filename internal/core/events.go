@@ -1,0 +1,171 @@
+package core
+
+import (
+	"github.com/tukwila/adp/internal/types"
+)
+
+// Event is a typed notification emitted by a streaming run. Events
+// narrate the adaptive-execution lifecycle — the phase transitions, plan
+// switches, and stitch-up work that a blocking Execute only reports post
+// hoc — in the order they happen on the execution timeline: a corrective
+// run that switches plans emits PhaseStarted (phase 0), then PlanSwitched,
+// then PhaseStarted (phase 1), …, then StitchUpStarted. Events carry the
+// virtual clock reading at emission, so a consumer can reconstruct the
+// run's timeline without a Report.
+//
+// Concrete event types: PhaseStarted, PlanSwitched, StitchUpStarted,
+// PartitionStats, RowsDelivered.
+type Event interface {
+	// event restricts implementations to this package's concrete types.
+	event()
+}
+
+// PhaseStarted marks the start of one execution phase: the initial plan,
+// every post-switch plan, and both plan-partitioning stages.
+type PhaseStarted struct {
+	// Phase is the 0-based phase index.
+	Phase int
+	// Plan is the phase's algebra plan rendering.
+	Plan string
+	// Partitions is the phase's partition-parallel width (1 = serial).
+	Partitions int
+	// VirtualSeconds is the clock reading when the phase began.
+	VirtualSeconds float64
+}
+
+func (PhaseStarted) event() {}
+
+// PlanSwitched reports a corrective-monitor decision to abandon the
+// running plan (§4.1): the cost estimates that triggered the switch and
+// the plans involved. The next PhaseStarted event carries the new plan.
+type PlanSwitched struct {
+	// Phase is the index of the phase being abandoned.
+	Phase int
+	// From and To render the abandoned and adopted plans.
+	From, To string
+	// CurrentRemaining is the extrapolated remaining cost of the running
+	// plan (inflated by its observed bucket-collision factor).
+	CurrentRemaining float64
+	// CandidateCost is the adopted plan's estimated cost over the
+	// remaining data.
+	CandidateCost float64
+	// StitchPenalty is the estimated stitch-up work the switch induces;
+	// the switch fired because CandidateCost + StitchPenalty beat
+	// SwitchFactor × CurrentRemaining.
+	StitchPenalty float64
+	// VirtualSeconds is the clock reading at the decision.
+	VirtualSeconds float64
+}
+
+func (PlanSwitched) event() {}
+
+// StitchUpStarted marks the start of the cross-phase stitch-up (§3.4):
+// all sources are exhausted and the run is combining partial results from
+// its phases.
+type StitchUpStarted struct {
+	// Phases is the number of executed phases being stitched.
+	Phases int
+	// VirtualSeconds is the clock reading when stitch-up began.
+	VirtualSeconds float64
+}
+
+func (StitchUpStarted) event() {}
+
+// PartitionStats reports per-partition timing for one completed
+// partition-parallel phase.
+type PartitionStats struct {
+	// Phase is the 0-based phase index.
+	Phase int
+	// Delivered is the phase's source-tuple delivery count.
+	Delivered int64
+	// Seconds holds each partition pipeline's virtual seconds in this
+	// phase (read-only; shared with the report's PhaseInfo).
+	Seconds []float64
+	// VirtualSeconds is the clock reading (the phase makespan folded in)
+	// at emission.
+	VirtualSeconds float64
+}
+
+func (PartitionStats) event() {}
+
+// RowsDelivered is a result-delivery watermark: the cumulative number of
+// root result rows made available to the consumer so far. Emitted
+// whenever new rows are flushed to the cursor (at monitor poll
+// boundaries, phase ends, and run completion). Blocking queries
+// (aggregates) emit a single watermark when the final groups are
+// released.
+type RowsDelivered struct {
+	// Rows is the cumulative root-row count.
+	Rows int64
+	// VirtualSeconds is the clock reading at the flush.
+	VirtualSeconds float64
+}
+
+func (RowsDelivered) event() {}
+
+// RunHooks observe a streaming run. All hooks are optional (nil = off)
+// and are invoked synchronously on the run's goroutine, in execution
+// order; they must not call back into the run.
+type RunHooks struct {
+	// Emit receives lifecycle events (see Event).
+	Emit func(Event)
+	// OnRows receives newly produced root result rows, in result order.
+	// Each call's slice is a sub-slice of the final Report.Rows: rows are
+	// retained and immutable, every row is delivered exactly once, and
+	// the concatenation of all calls equals Report.Rows byte for byte.
+	OnRows func(rows []types.Tuple)
+	// OnSchema receives the output schema, exactly once, before any
+	// OnRows call. (Under plan partitioning the schema is announced after
+	// stage-2 re-optimization, whose column renames shape the output.)
+	OnSchema func(s *types.Schema)
+}
+
+// emit sends an event to the Emit hook, if any.
+func (ex *executor) emit(ev Event) {
+	if ex.hooks.Emit != nil {
+		ex.hooks.Emit(ev)
+	}
+}
+
+// announceSchema fires the OnSchema hook exactly once.
+func (ex *executor) announceSchema(s *types.Schema) {
+	if ex.schemaSent {
+		return
+	}
+	ex.schemaSent = true
+	if ex.hooks.OnSchema != nil {
+		ex.hooks.OnSchema(s)
+	}
+}
+
+// flushRows delivers result rows produced since the last flush to the
+// OnRows hook and emits a RowsDelivered watermark. SPJ queries flush
+// incrementally as phases produce output; aggregate queries have nothing
+// to flush until the shared group-by releases its groups at the end of
+// the run (RunStream delivers those via flushFinal). Flushing charges
+// nothing to the virtual clock, so a streamed run's Report is identical
+// to a blocking one's.
+func (ex *executor) flushRows() {
+	n := len(ex.spjRows)
+	if n == ex.sentRows {
+		return
+	}
+	if ex.hooks.OnRows != nil {
+		ex.hooks.OnRows(ex.spjRows[ex.sentRows:n])
+	}
+	ex.sentRows = n
+	ex.emit(RowsDelivered{Rows: int64(n), VirtualSeconds: ex.ctx.Clock.Now})
+}
+
+// flushFinal delivers whatever part of the final result has not been
+// streamed yet (the whole result for aggregate queries, the stitch-up
+// tail for SPJ ones) once rep.Rows is assembled, and emits the run's
+// closing watermark.
+func (ex *executor) flushFinal() {
+	rows := ex.rep.Rows
+	if ex.hooks.OnRows != nil && len(rows) > ex.sentRows {
+		ex.hooks.OnRows(rows[ex.sentRows:])
+	}
+	ex.sentRows = len(rows)
+	ex.emit(RowsDelivered{Rows: int64(len(rows)), VirtualSeconds: ex.ctx.Clock.Now})
+}

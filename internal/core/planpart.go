@@ -30,6 +30,8 @@ func (ex *executor) runPlanPartition() error {
 	}
 	joins := algebra.CollectJoins(initial.Root)
 	if len(joins) <= ex.o.MaterializeAfterJoins {
+		// Degenerates to static execution: no renames, original schema.
+		ex.announceSchema(ex.outSchema)
 		_, _, err := ex.runPhase(initial.Root)
 		return err
 	}
@@ -56,11 +58,15 @@ func (ex *executor) runPlanPartition() error {
 	if err != nil {
 		return err
 	}
+	stage1Plan := breakJoin.String() + " → materialize"
+	ex.emit(PhaseStarted{Phase: 0, Plan: stage1Plan, Partitions: 1, VirtualSeconds: ex.ctx.Clock.Now})
 	driver := exec.NewDriver(ex.ctx, stage1Leaves...)
-	driver.Run(0, nil)
+	if _, rerr := driver.RunContext(ex.runCtx, 0, nil); rerr != nil {
+		return rerr
+	}
 	tree.Finish()
 	ex.rep.Phases = append(ex.rep.Phases, PhaseInfo{
-		Plan:      breakJoin.String() + " → materialize",
+		Plan:      stage1Plan,
 		Delivered: driver.Delivered,
 		Seconds:   ex.ctx.Clock.Now,
 	})
@@ -93,6 +99,7 @@ func (ex *executor) runPlanPartition() error {
 		if err != nil {
 			return err
 		}
+		ex.announceSchema(agg2.Schema())
 		if planHasPreAgg(res2.Root) {
 			ad, err := types.NewAdapter(res2.Root.Schema(), agg2.PartialSchema())
 			if err != nil {
@@ -121,6 +128,7 @@ func (ex *executor) runPlanPartition() error {
 			return err
 		}
 		ex.outSchema = out2
+		ex.announceSchema(out2)
 		sink = &collectSink{ctx: ex.ctx, ad: ad, dst: &ex.spjRows}
 	}
 	tree2, err := Lower(ex.ctx, res2.Root, sink)
@@ -157,14 +165,25 @@ func (ex *executor) runPlanPartition() error {
 		})
 	}
 	t0 := ex.ctx.Clock.Now
+	ex.emit(PhaseStarted{Phase: 1, Plan: res2.Root.String(), Partitions: 1, VirtualSeconds: t0})
 	d2 := exec.NewDriver(ex.ctx, leaves2...)
-	d2.Run(0, nil)
+	// Poll only to flush streamed SPJ rows; plan partitioning never
+	// switches plans mid-stage. Polling changes batch boundaries but not
+	// delivery order, counters, or the clock (the batching equivalence
+	// contract), so reports stay identical to the unpolled baseline.
+	if _, rerr := d2.RunContext(ex.runCtx, ex.o.PollEvery, func() bool {
+		ex.flushRows()
+		return false
+	}); rerr != nil {
+		return rerr
+	}
 	tree2.Finish()
 	ex.rep.Phases = append(ex.rep.Phases, PhaseInfo{
 		Plan:      res2.Root.String(),
 		Delivered: d2.Delivered,
 		Seconds:   ex.ctx.Clock.Now - t0,
 	})
+	ex.flushRows()
 	if agg2 != nil {
 		// Replace the unused original shared aggregate with stage 2's.
 		ex.agg = agg2

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/tukwila/adp/internal/algebra"
@@ -194,6 +195,17 @@ func (s *StitchUp) tableFor(step int, phase int) *state.HashTable {
 // prefixes whose joins a phase already materialized are fetched from that
 // phase's state structures instead of recomputed.
 func (s *StitchUp) Run() error {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation, checked between combinations; a
+// canceled stitch-up returns the context's error with the partial output
+// already emitted left in place downstream.
+func (s *StitchUp) RunContext(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	done := ctx.Done()
 	m := len(s.Order)
 	n := len(s.phases)
 	if m < 2 || n < 2 {
@@ -209,6 +221,14 @@ func (s *StitchUp) Run() error {
 	}
 	var err error
 	algebra.Combinations(m, n, func(c []int) bool {
+		if done != nil {
+			select {
+			case <-done:
+				err = ctx.Err()
+				return false
+			default:
+			}
+		}
 		s.Combos++
 		// First differing position invalidates caches from there on.
 		first := 0

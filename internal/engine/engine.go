@@ -5,6 +5,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -72,26 +73,35 @@ func (e *Engine) Relations() []string {
 	return out
 }
 
-// Execute runs a query under the given options. Every call opens fresh
-// providers, so repeated Execute calls see the sources from the start
-// (convenient for experiments; a real deployment would stream once).
-func (e *Engine) Execute(q *algebra.Query, o core.Options) (*core.Report, error) {
-	for _, r := range q.Relations {
-		if _, ok := e.rels[r.Name]; !ok {
-			return nil, fmt.Errorf("engine: relation %q not registered", r.Name)
-		}
-	}
+// catalog opens fresh providers over the registered relations (one-pass
+// sources: every run reads each source from the start).
+func (e *Engine) catalog() *core.Catalog {
 	cat := &core.Catalog{Providers: map[string]*source.Provider{}}
 	for name, rel := range e.rels {
 		cat.Providers[name] = source.NewProvider(rel, e.scheds[name])
 	}
-	if o.Known == nil && len(e.known) > 0 {
-		o.Known = map[string]float64{}
-		for k, v := range e.known {
-			o.Known[k] = v
-		}
+	return cat
+}
+
+// Execute runs a query to completion under the given options. Every call
+// opens fresh providers, so repeated Execute calls see the sources from
+// the start (convenient for experiments; a real deployment would stream
+// once). Execute is a thin consumer of Stream — the streaming cursor is
+// the one execution code path — and returns the identical rows, counters,
+// and clocks.
+func (e *Engine) Execute(q *algebra.Query, o core.Options) (*core.Report, error) {
+	return e.ExecuteContext(context.Background(), q, o)
+}
+
+// ExecuteContext is Execute with cancellation: the run stops at the next
+// batch boundary once ctx is canceled and returns ctx's error.
+func (e *Engine) ExecuteContext(ctx context.Context, q *algebra.Query, o core.Options) (*core.Report, error) {
+	s, err := e.Stream(ctx, q, WithOptions(o))
+	if err != nil {
+		return nil, err
 	}
-	return core.Run(cat, q, o)
+	defer s.Close()
+	return s.Report()
 }
 
 // QueryBuilder assembles an algebra.Query fluently.

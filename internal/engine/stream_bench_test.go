@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"github.com/tukwila/adp/internal/core"
+)
+
+// BenchmarkStreamDelivery measures steady-state cursor delivery: one op
+// is one row pulled through Stream.Next over a batched SPJ root (build
+// side loaded, probe side streaming). The whole pipeline — driver batch
+// delivery, join push, result collection, flush, channel hand-off — is
+// on the clock and in the allocation count, including everything the run
+// goroutine allocates; the budget pinned in scripts/check_allocs.sh holds
+// stream delivery to the batched join-push envelope (≤ 2 allocs/op).
+// Stream re-opens amortize over rowsPerStream and are counted too.
+func BenchmarkStreamDelivery(b *testing.B) {
+	const rowsPerStream = 1 << 15
+	// PollEvery 256 gives ~128 flushes per stream, far beyond the row
+	// buffer, so the producer stays paced by the consumer and its work is
+	// measured rather than racing ahead between iterations.
+	e, q := spjEngine(rowsPerStream, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var s *Stream
+	remaining := 0
+	for i := 0; i < b.N; i++ {
+		if remaining == 0 {
+			if s != nil {
+				s.Close()
+			}
+			var err error
+			s, err = e.Stream(context.Background(), q, WithStrategy(core.Static), WithPollEvery(256))
+			if err != nil {
+				b.Fatal(err)
+			}
+			remaining = rowsPerStream
+		}
+		if _, ok := s.Next(); !ok {
+			b.Fatal("stream exhausted early")
+		}
+		remaining--
+	}
+	b.StopTimer()
+	if s != nil {
+		s.Close()
+	}
+}

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+
 	"github.com/tukwila/adp/internal/source"
 	"github.com/tukwila/adp/internal/stats"
 	"github.com/tukwila/adp/internal/types"
@@ -183,17 +185,38 @@ func (d *Driver) stepBatch(max int, batch *[]types.Tuple) int {
 // source flow to the plan as one batch (capped so poll still fires at
 // exactly every pollEvery tuples read).
 func (d *Driver) Run(pollEvery int, poll func() bool) (exhausted bool) {
-	return d.run(DefaultBatch, pollEvery, poll)
+	exhausted, _ = d.run(context.Background(), DefaultBatch, pollEvery, poll)
+	return exhausted
 }
 
-// run is Run with an explicit batch cap (the parallel driver reads with a
-// larger cap to amortize per-message scatter overhead; the cap does not
-// change delivery order, counters, or the clock — batches only extend
+// RunContext is Run with cancellation: the context is checked between
+// batch deliveries (so at most one batch of work happens after a cancel),
+// and a canceled run returns the context's error with the plan in the
+// same consistent suspended state a poll-initiated suspension leaves —
+// every delivered tuple fully processed, no operator mid-frame.
+func (d *Driver) RunContext(ctx context.Context, pollEvery int, poll func() bool) (exhausted bool, err error) {
+	return d.run(ctx, DefaultBatch, pollEvery, poll)
+}
+
+// run is RunContext with an explicit batch cap (the parallel driver reads
+// with a larger cap to amortize per-message scatter overhead; the cap does
+// not change delivery order, counters, or the clock — batches only extend
 // over already-available same-source tuples).
-func (d *Driver) run(batchCap, pollEvery int, poll func() bool) (exhausted bool) {
+func (d *Driver) run(ctx context.Context, batchCap, pollEvery int, poll func() bool) (exhausted bool, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	batch := make([]types.Tuple, 0, batchCap)
+	done := ctx.Done() // nil for Background: the select below is skipped
 	sincePoll := 0
 	for {
+		if done != nil {
+			select {
+			case <-done:
+				return false, ctx.Err()
+			default:
+			}
+		}
 		budget := batchCap
 		if poll != nil && pollEvery-sincePoll < budget {
 			budget = pollEvery - sincePoll
@@ -203,7 +226,7 @@ func (d *Driver) run(batchCap, pollEvery int, poll func() bool) (exhausted bool)
 		}
 		n := d.stepBatch(budget, &batch)
 		if n == 0 {
-			return true
+			return true, nil
 		}
 		if poll == nil {
 			continue
@@ -212,7 +235,7 @@ func (d *Driver) run(batchCap, pollEvery int, poll func() bool) (exhausted bool)
 		if sincePoll >= pollEvery {
 			sincePoll = 0
 			if poll() {
-				return false
+				return false, nil
 			}
 		}
 	}

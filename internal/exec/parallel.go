@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sync"
 
 	"github.com/tukwila/adp/internal/types"
@@ -187,6 +188,17 @@ func (pd *ParallelDriver) start() {
 // per-partition operator state. The leaves' Push/PushBatch functions are
 // expected to route into this driver's LeafScatter exchanges.
 func (pd *ParallelDriver) Run(leaves []*Leaf, pollEvery int, poll func() bool) (exhausted bool) {
+	exhausted, _ = pd.RunContext(context.Background(), leaves, pollEvery, poll)
+	return exhausted
+}
+
+// RunContext is Run with cancellation. The context is checked between
+// read batches; on cancel the driver stops reading, quiesces the workers
+// (every in-flight message fully processed, all workers parked — the same
+// consistent state a poll suspension reaches), and returns the context's
+// error. The workers stay alive so the caller decides between resuming
+// and Close; a canceled run must still Close to join them.
+func (pd *ParallelDriver) RunContext(ctx context.Context, leaves []*Leaf, pollEvery int, poll func() bool) (exhausted bool, err error) {
 	pd.start()
 	pd.read = NewDriver(pd.ctx, leaves...)
 	wrapped := poll
@@ -196,7 +208,11 @@ func (pd *ParallelDriver) Run(leaves []*Leaf, pollEvery int, poll func() bool) (
 			return poll()
 		}
 	}
-	return pd.read.run(ParReadBatch, pollEvery, wrapped)
+	exhausted, err = pd.read.run(ctx, ParReadBatch, pollEvery, wrapped)
+	if err != nil {
+		pd.Quiesce()
+	}
+	return exhausted, err
 }
 
 // Delivered reports tuples delivered across all leaves so far.

@@ -43,6 +43,7 @@ check 'BenchmarkHashKeys'                    0  # PR 3: vectorized hash kernel r
 check 'BenchmarkMergeJoinPush/batch'         4  # PR 2: batched ordered merge join
 check 'BenchmarkAggTableAbsorb'              1  # group-by absorb: zero steady-state (1 = headroom)
 check 'BenchmarkExchangePartition'           2  # PR 4: exchange scatter, steady-state <= 2 per batch
+check 'BenchmarkStreamDelivery'              2  # PR 5: cursor Next() per row, whole pipeline on the count
 
 if [ "$fail" -ne 0 ]; then
   echo "check-allocs: allocation budgets regressed" >&2
