@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test bench bench-perf check-fmt check-allocs fuzz-short examples ci
+.PHONY: all vet build test bench bench-perf check-fmt check-allocs fuzz-short examples chaos ci
 
 all: ci
 
@@ -34,6 +34,7 @@ bench-perf:
 	$(GO) test -run='^$$' -bench='BenchmarkHashTableProbe' -benchmem ./internal/state/
 	$(GO) test -run='^$$' -bench='BenchmarkPipelinedJoinPush|BenchmarkMergeJoinPush|BenchmarkAggTableAbsorb|BenchmarkHashKeys|BenchmarkExchangePartition' -benchmem ./internal/exec/
 	$(GO) test -run='^$$' -bench='BenchmarkStreamDelivery' -benchmem ./internal/engine/
+	$(GO) test -run='^$$' -bench='BenchmarkFaultyNext' -benchmem ./internal/source/
 
 # Examples gate: the runnable examples must keep building and vetting
 # cleanly (they are real module packages, so rot breaks users first).
@@ -52,8 +53,14 @@ fuzz-short:
 check-allocs:
 	./scripts/check_allocs.sh bench-perf.txt
 
+# Deterministic chaos suite under the race detector: seeded fault
+# schedules across all strategies and partition counts, pinning
+# recovered-fault runs to their fault-free baselines (PR 6).
+chaos:
+	$(GO) test -race -count=1 -run='Fault|Chaos' ./internal/source/ ./internal/core/ ./internal/engine/
+
 # Full benchmark sweep (paper figures; slow).
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
 
-ci: check-fmt vet build test examples fuzz-short check-allocs
+ci: check-fmt vet build test examples fuzz-short chaos check-allocs

@@ -139,6 +139,51 @@ var (
 	Shuffle = source.Shuffle
 )
 
+// ---- Source fault tolerance ---------------------------------------------
+
+// FaultKind classifies an injected source fault.
+type FaultKind = source.FaultKind
+
+// Fault kinds.
+const (
+	// FaultTransient fails one tuple's read for Times attempts.
+	FaultTransient = source.FaultTransient
+	// FaultStall delays the source by Stall virtual seconds.
+	FaultStall = source.FaultStall
+	// FaultPermanent kills the source at the scheduled tuple.
+	FaultPermanent = source.FaultPermanent
+)
+
+// Fault is one scheduled source fault.
+type Fault = source.Fault
+
+// FaultSchedule is an ordered, deterministic list of faults for one
+// source, installed with Engine.InjectFaults.
+type FaultSchedule = source.FaultSchedule
+
+// Fault-schedule constructors.
+var (
+	// NewFaultSchedule builds a schedule ordered by trigger index.
+	NewFaultSchedule = source.NewFaultSchedule
+	// RandomFaults draws a deterministic seeded mix of transient faults
+	// and stalls (the chaos suite's generator).
+	RandomFaults = source.RandomFaults
+)
+
+// RetryPolicy describes how one source's reads recover from faults:
+// bounded retries with exponential backoff in virtual seconds, and an
+// optional mirror relation to fail over to. Install per run with
+// WithSourcePolicy.
+type RetryPolicy = source.RetryPolicy
+
+// SourceError is the typed terminal error of a permanently failed
+// source; fail-fast runs return it (unwrap with errors.As).
+type SourceError = source.SourceError
+
+// FaultStats counts one source's fault and recovery activity; the final
+// Report carries one entry per faulting source in SourceFaults.
+type FaultStats = source.FaultStats
+
 // ---- Engine ------------------------------------------------------------
 
 // Engine owns a catalog of sources and executes queries.
@@ -223,14 +268,20 @@ var (
 	WithInstrument = engine.WithInstrument
 	// WithKnownCardinality records one source-supplied cardinality.
 	WithKnownCardinality = engine.WithKnownCardinality
+	// WithSourcePolicy sets one relation's fault-recovery policy.
+	WithSourcePolicy = engine.WithSourcePolicy
+	// WithPartialResults degrades gracefully on unrecoverable source
+	// failure instead of failing the run.
+	WithPartialResults = engine.WithPartialResults
 	// WithOptions replaces the whole configuration with a prebuilt
 	// Options value (apply first when mixed with other options).
 	WithOptions = engine.WithOptions
 )
 
 // Event is a typed notification from a streaming run; concrete types are
-// PhaseStarted, PlanSwitched, StitchUpStarted, PartitionStats, and
-// RowsDelivered.
+// PhaseStarted, PlanSwitched, StitchUpStarted, PartitionStats,
+// RowsDelivered, and the source-degradation narrative SourceStalled,
+// SourceRetried, SourceFailedOver, SourceAbandoned.
 type Event = core.Event
 
 // Streaming run events.
@@ -247,6 +298,15 @@ type (
 	PartitionStats = core.PartitionStats
 	// RowsDelivered is a cumulative result-delivery watermark.
 	RowsDelivered = core.RowsDelivered
+	// SourceStalled reports an injected source stall (also a
+	// cost-estimate violation for the corrective monitor).
+	SourceStalled = core.SourceStalled
+	// SourceRetried reports one recovered read attempt.
+	SourceRetried = core.SourceRetried
+	// SourceFailedOver reports a source switching to its mirror.
+	SourceFailedOver = core.SourceFailedOver
+	// SourceAbandoned reports a permanently failed source.
+	SourceAbandoned = core.SourceAbandoned
 )
 
 // ---- Direct operator access (advanced) ----------------------------------

@@ -10,6 +10,8 @@
 //	adpquery -query Q5 -strategy static -cards -skewed
 //	adpquery -query Q3A -strategy corrective -wireless -stream
 //	adpquery -query Q10 -strategy corrective -partitions 4
+//	adpquery -query Q3A -fault random -fault-seed 7 -stream
+//	adpquery -query Q3A -fault dead -partial
 package main
 
 import (
@@ -42,15 +44,18 @@ func main() {
 		poll       = flag.Int("poll", 2048, "corrective polling interval (tuples)")
 		partitions = flag.Int("partitions", 1, "partition-parallel width for phase execution (<=1 = serial)")
 		stream     = flag.Bool("stream", false, "consume the streaming cursor: live rows + adaptive-event progress")
+		fault      = flag.String("fault", "", "inject faults into the largest source (transient|stall|dead|failover|random)")
+		faultSeed  = flag.Int64("fault-seed", 1, "seed for -fault random schedules")
+		partial    = flag.Bool("partial", false, "degrade to partial results when a source dies instead of failing")
 	)
 	flag.Parse()
-	if err := run(*query, *strategy, *sf, *seed, *skewed, *cards, *wireless, *preagg, *limit, *poll, *partitions, *stream); err != nil {
+	if err := run(*query, *strategy, *sf, *seed, *skewed, *cards, *wireless, *preagg, *limit, *poll, *partitions, *stream, *fault, *faultSeed, *partial); err != nil {
 		fmt.Fprintln(os.Stderr, "adpquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(query, strategy string, sf float64, seed int64, skewed, cards, wireless bool, preagg string, limit, poll, partitions int, stream bool) error {
+func run(query, strategy string, sf float64, seed int64, skewed, cards, wireless bool, preagg string, limit, poll, partitions int, stream bool, fault string, faultSeed int64, partial bool) error {
 	q, err := workload.ByName(query)
 	if err != nil {
 		return err
@@ -88,9 +93,14 @@ func run(query, strategy string, sf float64, seed int64, skewed, cards, wireless
 			eng.Register(rel)
 		}
 	}
-	o := core.Options{Strategy: strat, PollEvery: poll, PreAgg: pa, Partitions: partitions}
+	o := core.Options{Strategy: strat, PollEvery: poll, PreAgg: pa, Partitions: partitions, PartialResults: partial}
 	if cards {
 		o.Known = workload.KnownCards(d)
+	}
+	if fault != "" {
+		if err := injectFaults(eng, q, fault, faultSeed, &o); err != nil {
+			return err
+		}
 	}
 
 	var rep *core.Report
@@ -116,6 +126,61 @@ func run(query, strategy string, sf float64, seed int64, skewed, cards, wireless
 		fmt.Printf("  stitch-up      %.3fs, %d combinations, %d tuples reused, %d discarded\n",
 			rep.StitchTime, rep.StitchCombos, rep.Reused, rep.Discarded)
 	}
+	if rep.Partial {
+		fmt.Printf("  PARTIAL RESULTS: a source died and the run degraded to its delivered prefix\n")
+	}
+	for name, st := range rep.SourceFaults {
+		fmt.Printf("  faults[%s]  transients %d, stalls %d (%.3fs), retries %d (%.3fs backoff)",
+			name, st.Transients, st.Stalls, st.StallSeconds, st.Retries, st.BackoffSeconds)
+		if st.FailedOver {
+			fmt.Print(", failed over to mirror")
+		}
+		if st.Abandoned {
+			fmt.Print(", ABANDONED")
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// injectFaults arms a canned fault scenario on the query's largest source
+// relation: the schedule goes through Engine.InjectFaults and the
+// matching retry policy through Options.SourcePolicies, exactly the path
+// library users take.
+func injectFaults(eng *engine.Engine, q *algebra.Query, mode string, seed int64, o *core.Options) error {
+	target, n := "", 0
+	for _, name := range q.RelationNames() {
+		if rel, ok := eng.Relation(name); ok && rel.Len() > n {
+			target, n = name, rel.Len()
+		}
+	}
+	if target == "" {
+		return fmt.Errorf("-fault: no registered relation in query")
+	}
+	policy := source.RetryPolicy{MaxAttempts: 4, Backoff: 0.5}
+	switch mode {
+	case "transient":
+		eng.InjectFaults(target, source.NewFaultSchedule(
+			source.Fault{At: n / 3, Kind: source.FaultTransient, Times: 2}))
+	case "stall":
+		eng.InjectFaults(target, source.NewFaultSchedule(
+			source.Fault{At: n / 4, Kind: source.FaultStall, Stall: 5}))
+	case "dead":
+		eng.InjectFaults(target, source.NewFaultSchedule(
+			source.Fault{At: n / 2, Kind: source.FaultPermanent}))
+	case "failover":
+		mirror, _ := eng.Relation(target)
+		policy.Mirror = mirror
+		policy.FailoverDelay = 2
+		eng.InjectFaults(target, source.NewFaultSchedule(
+			source.Fault{At: n / 2, Kind: source.FaultPermanent}))
+	case "random":
+		eng.InjectFaults(target, source.RandomFaults(n, 6, 3.0, seed))
+	default:
+		return fmt.Errorf("unknown -fault mode %q (transient|stall|dead|failover|random)", mode)
+	}
+	o.SourcePolicies = map[string]source.RetryPolicy{target: policy}
+	fmt.Printf("injecting %s fault(s) into %s (%d tuples)\n", mode, target, n)
 	return nil
 }
 
@@ -145,6 +210,14 @@ func runStreaming(eng *engine.Engine, q *algebra.Query, o core.Options, limit in
 				fmt.Printf("[%8.3fs] phase %d partition seconds: %v\n", e.VirtualSeconds, e.Phase, e.Seconds)
 			case core.RowsDelivered:
 				fmt.Printf("[%8.3fs] %d rows delivered\n", e.VirtualSeconds, e.Rows)
+			case core.SourceStalled:
+				fmt.Printf("[%8.3fs] source %s stalled %.3fs at tuple %d\n", e.VirtualSeconds, e.Source, e.Seconds, e.Tuple)
+			case core.SourceRetried:
+				fmt.Printf("[%8.3fs] source %s retry %d at tuple %d (backoff %.3fs)\n", e.VirtualSeconds, e.Source, e.Attempt, e.Tuple, e.Backoff)
+			case core.SourceFailedOver:
+				fmt.Printf("[%8.3fs] source %s failed over to mirror at tuple %d\n", e.VirtualSeconds, e.Source, e.Tuple)
+			case core.SourceAbandoned:
+				fmt.Printf("[%8.3fs] source %s ABANDONED at tuple %d (partial=%v): %v\n", e.VirtualSeconds, e.Source, e.Tuple, e.Partial, e.Err)
 			}
 		}
 	}()

@@ -81,6 +81,43 @@
 // the sequence from the start of the run, so late subscribers miss
 // nothing. Event emission never blocks execution.
 //
+// # Source fault tolerance
+//
+// Autonomous sources fail mid-query; the engine injects such failures
+// deterministically and recovers from them. Engine.InjectFaults arms a
+// FaultSchedule on a relation — transient read errors (fail Times reads,
+// then succeed), stalls (a virtual-time delay), and permanent death,
+// each triggering at an exact delivered-tuple watermark; RandomFaults
+// derives a seeded schedule. WithSourcePolicy sets the per-source
+// RetryPolicy: bounded retries with exponential backoff charged to the
+// virtual clock, then failover to a mirror relation resuming exactly at
+// the consumed watermark (exactly once across the switch).
+//
+//	eng.InjectFaults("orders", adp.RandomFaults(n, 6, 3.0, seed))
+//	s, err := eng.Stream(ctx, q,
+//		adp.WithSourcePolicy("orders", adp.RetryPolicy{MaxAttempts: 4, Backoff: 0.5}),
+//		adp.WithPartialResults(true))
+//
+// Recovery is woven into the adaptive machinery rather than bolted on:
+// stalls and backoff surface as arrival-time penalties, so the
+// availability-ordered source driver masks a slow source with other
+// sources' tuples (§3.3), and the corrective monitor treats an observed
+// stall as a cost-estimate violation — waiving its re-optimization
+// cooldown and inflating the running plan's cost estimate — so source
+// failures can trigger plan switches. An unrecoverable source either
+// fails the query fast with a typed *SourceError (default) or, under
+// WithPartialResults, degrades gracefully: the run completes over the
+// delivered prefix and Report.Partial is set. Report.SourceFaults
+// carries per-source counters (transients, stalls, retries, backoff and
+// stall seconds, failover/abandonment), and the event stream narrates
+// recovery live via SourceStalled, SourceRetried, SourceFailedOver, and
+// SourceAbandoned.
+//
+// Because faults live entirely in virtual time, chaos testing is cheap
+// and exactly reproducible: the seeded suite (make chaos) pins that any
+// run whose faults are all recovered yields exactly the fault-free rows,
+// across every strategy, serial and partition-parallel, under -race.
+//
 // # Batched push execution
 //
 // The execution engine is vectorized end to end: every hot-path operator

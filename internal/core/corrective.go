@@ -43,14 +43,17 @@ func (s Strategy) String() string {
 }
 
 // Catalog maps relation names to their (one-pass, resumable) providers.
+// Providers may be fault-injecting wrappers (*source.Faulty): the run
+// wires their recovery events into the execution narrative and the
+// Report's SourceFaults counters.
 type Catalog struct {
-	Providers map[string]*source.Provider
+	Providers map[string]source.Provider
 }
 
 // NewCatalog builds a catalog over relations with the given delivery
 // schedule factory (nil = local/immediate).
 func NewCatalog(rels map[string]*source.Relation, sched func(rel *source.Relation) source.Schedule) *Catalog {
-	c := &Catalog{Providers: map[string]*source.Provider{}}
+	c := &Catalog{Providers: map[string]source.Provider{}}
 	for name, r := range rels {
 		var s source.Schedule
 		if sched != nil {
@@ -97,6 +100,16 @@ type Options struct {
 	// shape (single-relation queries) and the PlanPartition strategy fall
 	// back to serial execution automatically.
 	Partitions int
+	// SourcePolicies maps relation names to their fault-recovery
+	// policies (retry attempts, backoff, mirror failover). The engine
+	// layer applies them when it opens providers; core itself only
+	// carries the configuration.
+	SourcePolicies map[string]source.RetryPolicy
+	// PartialResults degrades a permanently failed source gracefully:
+	// instead of failing the run with a *source.SourceError, execution
+	// continues over the tuples the source delivered before dying and
+	// the Report is marked Partial with accurate SourceFaults counters.
+	PartialResults bool
 	// Cost overrides the cost model.
 	Cost *exec.CostModel
 	// OnPoll, when set, observes every monitor decision (diagnostics):
@@ -159,6 +172,14 @@ type Report struct {
 	// partitions; VirtualSeconds reflects the parallel makespan.
 	Partitions int
 
+	// SourceFaults counts per-source fault and recovery activity
+	// (injected transients/stalls, retries, failover, abandonment);
+	// empty/nil when every source ran clean. Partial reports that at
+	// least one source was abandoned and the run degraded to partial
+	// results (Options.PartialResults).
+	SourceFaults map[string]source.FaultStats
+	Partial      bool
+
 	// Leaf instrumentation outcomes (when Options.Instrument).
 	Histograms map[string]*stats.Histogram
 	Orders     map[string]*stats.OrderDetector
@@ -179,6 +200,18 @@ type executor struct {
 	hooks      RunHooks
 	sentRows   int
 	schemaSent bool
+
+	// Fault-recovery state, mutated only on the run goroutine (fault
+	// events fire synchronously inside source reads). fatal latches the
+	// first abandonment under the fail-fast policy and aborts the
+	// drivers between batches; stallSecs accumulates injected stall and
+	// backoff virtual seconds, which the corrective monitor reads as a
+	// cost-estimate violation (phaseStallBase/phaseT0 scope it to the
+	// running phase).
+	fatal          error
+	stallSecs      float64
+	phaseStallBase float64
+	phaseT0        float64
 
 	fullSchema *types.Schema
 	agg        *exec.AggTable // shared group-by across phases (nil for SPJ)
@@ -242,6 +275,15 @@ func RunStream(ctx context.Context, cat *Catalog, q *algebra.Query, o Options, h
 		ex.rep.Histograms = map[string]*stats.Histogram{}
 		ex.rep.Orders = map[string]*stats.OrderDetector{}
 	}
+	// Wire fault-injecting providers into the run: recovery events feed
+	// the event stream, the Report counters, the monitor's stall signal,
+	// and the fail-fast abort. Events fire synchronously on this run's
+	// goroutine (inside source reads), so no locking is needed.
+	for _, r := range q.Relations {
+		if fp, ok := cat.Providers[r.Name].(*source.Faulty); ok {
+			fp.SetNotify(ex.handleFault)
+		}
+	}
 	ex.fullSchema = q.Relations[0].Schema
 	for _, r := range q.Relations[1:] {
 		ex.fullSchema = ex.fullSchema.Concat(r.Schema)
@@ -285,9 +327,64 @@ func RunStream(ctx context.Context, cat *Catalog, q *algebra.Query, o Options, h
 	ex.rep.VirtualSeconds = ex.ctx.Clock.Now
 	ex.rep.CPUSeconds = ex.ctx.Clock.CPU
 	ex.rep.RealSeconds = time.Since(start).Seconds()
+	ex.snapshotSourceFaults()
 	ex.flushFinal()
 	return ex.rep, nil
 }
+
+// snapshotSourceFaults copies each faulty provider's final recovery
+// counters into the report (empty map entries are skipped so clean runs
+// keep a nil SourceFaults).
+func (ex *executor) snapshotSourceFaults() {
+	for _, r := range ex.q.Relations {
+		fp, ok := ex.cat.Providers[r.Name].(*source.Faulty)
+		if !ok {
+			continue
+		}
+		st := fp.Stats()
+		if st == (source.FaultStats{}) {
+			continue
+		}
+		if ex.rep.SourceFaults == nil {
+			ex.rep.SourceFaults = map[string]source.FaultStats{}
+		}
+		ex.rep.SourceFaults[r.Name] = st
+	}
+}
+
+// handleFault is the notify hook for faulty providers: it narrates the
+// degradation through the event stream, accumulates the monitor's stall
+// signal (backoff waits count as stall time — either way the source fell
+// behind its advertised schedule), and applies the failure policy when a
+// source is abandoned: latch a fatal error (fail-fast, the default) or
+// mark the run partial (Options.PartialResults).
+func (ex *executor) handleFault(ev source.FaultEvent) {
+	now := ex.ctx.Clock.Now
+	switch ev.Kind {
+	case source.FaultEventStalled:
+		ex.stallSecs += ev.Seconds
+		ex.emit(SourceStalled{Source: ev.Source, Tuple: ev.Tuple, Seconds: ev.Seconds, VirtualSeconds: now})
+	case source.FaultEventRetried:
+		ex.stallSecs += ev.Seconds
+		ex.emit(SourceRetried{Source: ev.Source, Tuple: ev.Tuple, Attempt: ev.Attempt, Backoff: ev.Seconds, VirtualSeconds: now})
+	case source.FaultEventFailedOver:
+		ex.emit(SourceFailedOver{Source: ev.Source, Tuple: ev.Tuple, VirtualSeconds: now})
+	case source.FaultEventAbandoned:
+		ex.emit(SourceAbandoned{Source: ev.Source, Tuple: ev.Tuple, Err: ev.Err, Partial: ex.o.PartialResults, VirtualSeconds: now})
+		if ex.o.PartialResults {
+			ex.rep.Partial = true
+		} else if ex.fatal == nil {
+			ex.fatal = ev.Err
+		}
+	}
+}
+
+// runFatal is the drivers' between-batches abort check (exec.Driver.Fatal).
+func (ex *executor) runFatal() error { return ex.fatal }
+
+// phaseStall is the injected stall+backoff time observed during the
+// running phase, in virtual seconds.
+func (ex *executor) phaseStall() float64 { return ex.stallSecs - ex.phaseStallBase }
 
 // optInputs assembles the optimizer inputs from current observations.
 func (ex *executor) optInputs() opt.Inputs {
@@ -410,11 +507,23 @@ func (ex *executor) monitorStep(root algebra.Plan, delivered int64, collision fl
 	if ex.o.Strategy != Corrective || len(ex.phases)+1 >= ex.o.MaxPhases {
 		return nil, false
 	}
+	// A stalled (or retry-delayed) source is a cost-estimate violation in
+	// its own right: the plan was priced assuming the advertised arrival
+	// schedule, and every injected stall second invalidates that price.
+	// Stall time observed this phase waives the steady-state cooldown and
+	// inflates the current plan's remaining-cost estimate in proportion
+	// to how much of the phase was spent stalled — the paper's adaptivity
+	// machinery absorbing faults as just another runtime signal.
+	stall := ex.phaseStall()
 	// Cooldown: let the phase reach steady state before judging it —
 	// the monitor needs stable observed rates (§4.1's "stable,
 	// consistent" behaviour under a 1-second interval).
-	if delivered < int64(3*ex.o.PollEvery) {
+	if delivered < int64(3*ex.o.PollEvery) && stall <= 0 {
 		return nil, false
+	}
+	if stall > 0 {
+		elapsed := math.Max(ex.ctx.Clock.Now-ex.phaseT0, 1e-9)
+		collision *= 1 + stall/elapsed
 	}
 	// Only switch while enough data remains for a new plan to matter.
 	var remaining, total float64
@@ -499,7 +608,9 @@ func (ex *executor) runPhase(root algebra.Plan) (exhausted bool, next algebra.Pl
 		leaves = append(leaves, leaf)
 	}
 	driver := exec.NewDriver(ex.ctx, leaves...)
+	driver.Fatal = ex.runFatal
 	t0 := ex.ctx.Clock.Now
+	ex.phaseT0, ex.phaseStallBase = t0, ex.stallSecs
 	ex.emit(PhaseStarted{Phase: phaseID, Plan: root.String(), Partitions: 1, VirtualSeconds: t0})
 
 	var switchTo algebra.Plan
@@ -591,6 +702,8 @@ func (ex *executor) runPhaseParallel(root algebra.Plan) (exhausted bool, next al
 		leaves = append(leaves, leaf)
 	}
 	t0 := ex.ctx.Clock.Now
+	ex.phaseT0, ex.phaseStallBase = t0, ex.stallSecs
+	pd.Fatal = ex.runFatal
 	ex.emit(PhaseStarted{Phase: phaseID, Plan: root.String(), Partitions: parts, VirtualSeconds: t0})
 
 	var switchTo algebra.Plan

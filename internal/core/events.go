@@ -14,7 +14,8 @@ import (
 // run's timeline without a Report.
 //
 // Concrete event types: PhaseStarted, PlanSwitched, StitchUpStarted,
-// PartitionStats, RowsDelivered.
+// PartitionStats, RowsDelivered, and the source-degradation narrative
+// SourceStalled, SourceRetried, SourceFailedOver, SourceAbandoned.
 type Event interface {
 	// event restricts implementations to this package's concrete types.
 	event()
@@ -102,6 +103,77 @@ type RowsDelivered struct {
 }
 
 func (RowsDelivered) event() {}
+
+// SourceStalled reports an injected (or observed) source stall: the
+// source's tuples from Tuple onward arrive Seconds virtual seconds later
+// than scheduled. The corrective monitor treats accumulated stall time as
+// a cost-estimate violation, making the running plan eligible for a
+// switch.
+type SourceStalled struct {
+	// Source names the stalled source.
+	Source string
+	// Tuple is the delivered watermark when the stall hit.
+	Tuple int
+	// Seconds is the stall duration in virtual seconds.
+	Seconds float64
+	// VirtualSeconds is the clock reading at the observation.
+	VirtualSeconds float64
+}
+
+func (SourceStalled) event() {}
+
+// SourceRetried reports one recovered read attempt: a transient fault
+// failed the read and the retry policy waited Backoff virtual seconds
+// before attempt Attempt+1.
+type SourceRetried struct {
+	// Source names the faulting source.
+	Source string
+	// Tuple is the delivered watermark of the failing read.
+	Tuple int
+	// Attempt numbers the retry, starting at 1.
+	Attempt int
+	// Backoff is the wait charged before this retry, in virtual seconds.
+	Backoff float64
+	// VirtualSeconds is the clock reading at the observation.
+	VirtualSeconds float64
+}
+
+func (SourceRetried) event() {}
+
+// SourceFailedOver reports that a source exhausted its retries (or died
+// permanently) and switched to its mirror, resuming at the consumed
+// watermark — the reader sees every tuple index exactly once.
+type SourceFailedOver struct {
+	// Source names the source.
+	Source string
+	// Tuple is the watermark the mirror resumed at.
+	Tuple int
+	// VirtualSeconds is the clock reading at the failover.
+	VirtualSeconds float64
+}
+
+func (SourceFailedOver) event() {}
+
+// SourceAbandoned reports a permanently failed source that recovery could
+// not save. Under the default fail-fast policy the run terminates with
+// Err (a *source.SourceError); with partial results enabled the run
+// continues over the delivered prefix and the final Report is marked
+// Partial.
+type SourceAbandoned struct {
+	// Source names the dead source.
+	Source string
+	// Tuple is the delivered watermark: tuples 0..Tuple-1 made it out.
+	Tuple int
+	// Err is the terminal *source.SourceError.
+	Err error
+	// Partial reports whether the run degrades to partial results
+	// (true) or fails with Err (false).
+	Partial bool
+	// VirtualSeconds is the clock reading at the abandonment.
+	VirtualSeconds float64
+}
+
+func (SourceAbandoned) event() {}
 
 // RunHooks observe a streaming run. All hooks are optional (nil = off)
 // and are invoked synchronously on the run's goroutine, in execution

@@ -61,6 +61,7 @@ func (ex *executor) runPlanPartition() error {
 	stage1Plan := breakJoin.String() + " → materialize"
 	ex.emit(PhaseStarted{Phase: 0, Plan: stage1Plan, Partitions: 1, VirtualSeconds: ex.ctx.Clock.Now})
 	driver := exec.NewDriver(ex.ctx, stage1Leaves...)
+	driver.Fatal = ex.runFatal
 	if _, rerr := driver.RunContext(ex.runCtx, 0, nil); rerr != nil {
 		return rerr
 	}
@@ -144,7 +145,7 @@ func (ex *executor) runPlanPartition() error {
 		if !ok {
 			return fmt.Errorf("core: stage-2 plan missing relation %q", rel.Name)
 		}
-		var provider *source.Provider
+		var provider source.Provider
 		if rel.Name == matRelName {
 			provider = matProvider
 		} else {
@@ -167,6 +168,7 @@ func (ex *executor) runPlanPartition() error {
 	t0 := ex.ctx.Clock.Now
 	ex.emit(PhaseStarted{Phase: 1, Plan: res2.Root.String(), Partitions: 1, VirtualSeconds: t0})
 	d2 := exec.NewDriver(ex.ctx, leaves2...)
+	d2.Fatal = ex.runFatal
 	// Poll only to flush streamed SPJ rows; plan partitioning never
 	// switches plans mid-stage. Polling changes batch boundaries but not
 	// delivery order, counters, or the clock (the batching equivalence

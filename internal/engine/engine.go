@@ -25,6 +25,9 @@ type Engine struct {
 	// Known cardinalities advertised by sources (often absent in data
 	// integration; nil entries mean unknown).
 	known map[string]float64
+	// faults holds injected fault schedules per relation (chaos testing
+	// and the fault-tolerance demos); nil entries mean fault-free.
+	faults map[string]*source.FaultSchedule
 }
 
 // New creates an empty engine.
@@ -33,6 +36,7 @@ func New() *Engine {
 		rels:   map[string]*source.Relation{},
 		scheds: map[string]source.Schedule{},
 		known:  map[string]float64{},
+		faults: map[string]*source.FaultSchedule{},
 	}
 }
 
@@ -57,6 +61,20 @@ func (e *Engine) AdvertiseCardinality(rel string, card float64) *Engine {
 	return e
 }
 
+// InjectFaults schedules deterministic faults against a registered
+// relation: every subsequent run reads the source through a fault-
+// injecting wrapper that replays the schedule (transient read errors,
+// stalls, permanent death). Pass nil to clear. How reads recover is a
+// per-run decision — see WithSourcePolicy and WithPartialResults.
+func (e *Engine) InjectFaults(rel string, fs *source.FaultSchedule) *Engine {
+	if fs == nil {
+		delete(e.faults, rel)
+	} else {
+		e.faults[rel] = fs
+	}
+	return e
+}
+
 // Relation returns a registered relation.
 func (e *Engine) Relation(name string) (*source.Relation, bool) {
 	r, ok := e.rels[name]
@@ -74,11 +92,20 @@ func (e *Engine) Relations() []string {
 }
 
 // catalog opens fresh providers over the registered relations (one-pass
-// sources: every run reads each source from the start).
-func (e *Engine) catalog() *core.Catalog {
-	cat := &core.Catalog{Providers: map[string]*source.Provider{}}
+// sources: every run reads each source from the start). Relations with
+// injected faults — or a per-run retry policy, whose mirror must be armed
+// even without injected faults — are wrapped in a fault-injecting
+// provider.
+func (e *Engine) catalog(o core.Options) *core.Catalog {
+	cat := &core.Catalog{Providers: map[string]source.Provider{}}
 	for name, rel := range e.rels {
-		cat.Providers[name] = source.NewProvider(rel, e.scheds[name])
+		var p source.Provider = source.NewProvider(rel, e.scheds[name])
+		fs := e.faults[name]
+		policy, hasPolicy := o.SourcePolicies[name]
+		if fs != nil || hasPolicy {
+			p = source.NewFaulty(p, fs, policy)
+		}
+		cat.Providers[name] = p
 	}
 	return cat
 }

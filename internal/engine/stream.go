@@ -9,6 +9,7 @@ import (
 	"github.com/tukwila/adp/internal/algebra"
 	"github.com/tukwila/adp/internal/core"
 	"github.com/tukwila/adp/internal/opt"
+	"github.com/tukwila/adp/internal/source"
 	"github.com/tukwila/adp/internal/types"
 )
 
@@ -68,6 +69,29 @@ func WithKnownCardinality(rel string, card float64) Option {
 		}
 		o.Known[rel] = card
 	}
+}
+
+// WithSourcePolicy sets one relation's fault-recovery policy for this
+// run: retry attempts, exponential backoff (virtual seconds), and an
+// optional mirror relation to fail over to at the consumed watermark.
+// Relations without a policy recover under the defaults (3 attempts,
+// 0.5 s backoff doubling, no mirror).
+func WithSourcePolicy(rel string, p source.RetryPolicy) Option {
+	return func(o *core.Options) {
+		if o.SourcePolicies == nil {
+			o.SourcePolicies = map[string]source.RetryPolicy{}
+		}
+		o.SourcePolicies[rel] = p
+	}
+}
+
+// WithPartialResults selects the graceful-degradation policy for
+// unrecoverable source failures: instead of failing the run with a
+// *source.SourceError (the fail-fast default), the run continues over
+// the surviving sources and the delivered prefix of the dead one, and
+// the final Report is marked Partial.
+func WithPartialResults(on bool) Option {
+	return func(o *core.Options) { o.PartialResults = on }
 }
 
 // WithOptions replaces the whole configuration with a prebuilt
@@ -155,7 +179,7 @@ func (e *Engine) Stream(ctx context.Context, q *algebra.Query, opts ...Option) (
 			o.Known[k] = v
 		}
 	}
-	cat := e.catalog()
+	cat := e.catalog(o)
 	runCtx, cancel := context.WithCancel(ctx)
 	s := &Stream{
 		cancel:      cancel,
@@ -353,7 +377,11 @@ func (s *Stream) Report() (*core.Report, error) {
 // consumed are discarded. It never blocks on an absent consumer, and —
 // unlike the cursor methods — it is safe to call from any goroutine
 // (e.g. a watchdog aborting a long run): it only drains the row channel,
-// never the consumer-owned cursor state.
+// never the consumer-owned cursor state. In particular it is safe to
+// call — including concurrently from several goroutines — while the run
+// is mid-read on a stalled or retrying source: source delays are virtual
+// time, so the run reaches its next cancellation point promptly and
+// Close returns once the goroutines have drained.
 func (s *Stream) Close() error {
 	s.closeOnce.Do(func() {
 		s.cancel()

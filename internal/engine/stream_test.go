@@ -170,7 +170,7 @@ func TestExecuteMatchesCoreRunBaseline(t *testing.T) {
 			t.Run(fmt.Sprintf("%v/partitions=%d", strat, parts), func(t *testing.T) {
 				e, q := chainEngine(3000)
 				o := core.Options{Strategy: strat, PollEvery: 256, Partitions: parts}
-				base, err := core.Run(e.catalog(), q, o)
+				base, err := core.Run(e.catalog(o), q, o)
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -13,7 +13,7 @@ import (
 // hooks feed histograms and order detectors (§3.3, §4.5), with their CPU
 // overhead charged to the clock so the overhead experiment is honest.
 type Leaf struct {
-	Provider *source.Provider
+	Provider source.Provider
 	// Push delivers a post-filter tuple into the plan.
 	Push func(t types.Tuple)
 	// PushBatch, when set, delivers a batch of post-filter tuples into
@@ -51,7 +51,15 @@ type Driver struct {
 	leaves []*Leaf
 	// Delivered counts tuples delivered across all leaves.
 	Delivered int64
-	counters  stats.OpCounters
+	// Fatal, when set, is consulted between batch deliveries (the same
+	// cadence as context cancellation): a non-nil return aborts the run
+	// with that error, with the plan in the usual consistent suspended
+	// state. The fault layer uses it to fail fast once a source is
+	// abandoned under the fail-fast policy; a permanently failed leaf
+	// otherwise just stops yielding tuples (graceful degradation).
+	Fatal func() error
+
+	counters stats.OpCounters
 }
 
 // NewDriver creates a driver over the given leaves.
@@ -86,9 +94,14 @@ func (d *Driver) bestLeaf() int {
 
 // readInto consumes one row from leaf l, advancing the clock and charging
 // instrumentation/filter costs; it returns the tuple and whether it
-// survived the filter.
+// survived the filter. A read that yields nothing (the provider faulted
+// or exhausted between the availability peek and the read) counts as
+// filtered-out without touching the counters or the clock.
 func (d *Driver) readInto(l *Leaf) (types.Tuple, bool) {
-	row, _ := l.Provider.Next()
+	row, ok := l.Provider.Next()
+	if !ok {
+		return nil, false
+	}
 	d.ctx.Clock.AdvanceTo(row.At)
 	l.Read++
 	d.Delivered++
@@ -217,6 +230,14 @@ func (d *Driver) run(ctx context.Context, batchCap, pollEvery int, poll func() b
 			default:
 			}
 		}
+		// Cancellation outranks a source fault: a canceled run reports
+		// context.Canceled even when a source was abandoned in the same
+		// window.
+		if d.Fatal != nil {
+			if ferr := d.Fatal(); ferr != nil {
+				return false, ferr
+			}
+		}
 		budget := batchCap
 		if poll != nil && pollEvery-sincePoll < budget {
 			budget = pollEvery - sincePoll
@@ -226,6 +247,22 @@ func (d *Driver) run(ctx context.Context, batchCap, pollEvery int, poll func() b
 		}
 		n := d.stepBatch(budget, &batch)
 		if n == 0 {
+			// A fault can latch during the very batch that drains the last
+			// leaf (an abandoned source peeks not-ok): re-check before
+			// declaring the sources exhausted, with cancellation still
+			// taking precedence.
+			if done != nil {
+				select {
+				case <-done:
+					return false, ctx.Err()
+				default:
+				}
+			}
+			if d.Fatal != nil {
+				if ferr := d.Fatal(); ferr != nil {
+					return false, ferr
+				}
+			}
 			return true, nil
 		}
 		if poll == nil {

@@ -75,6 +75,11 @@ type ParallelDriver struct {
 	read    *Driver
 	started bool
 	closed  bool
+
+	// Fatal mirrors Driver.Fatal for the parallel read loop: consulted
+	// between read batches; a non-nil return aborts the run with that
+	// error after quiescing the workers. Set before RunContext.
+	Fatal func() error
 }
 
 // parWorker owns partition p: its inbox processing and its outbox
@@ -201,6 +206,7 @@ func (pd *ParallelDriver) Run(leaves []*Leaf, pollEvery int, poll func() bool) (
 func (pd *ParallelDriver) RunContext(ctx context.Context, leaves []*Leaf, pollEvery int, poll func() bool) (exhausted bool, err error) {
 	pd.start()
 	pd.read = NewDriver(pd.ctx, leaves...)
+	pd.read.Fatal = pd.Fatal
 	wrapped := poll
 	if poll != nil {
 		wrapped = func() bool {

@@ -1,0 +1,454 @@
+// Fault injection and recovery for autonomous sources. The paper's whole
+// premise is adapting to unpredictable remote feeds; this file extends the
+// arrival-time simulation with the other half of unpredictability — faults.
+// A FaultSchedule injects deterministic, seeded faults (transient read
+// errors, virtual-clock stalls, permanent death at tuple N) into any
+// Provider via the Faulty wrapper, and a RetryPolicy describes how reads
+// recover: bounded retries with exponential backoff in virtual seconds,
+// and optional failover to a mirror relation that resumes at the consumed
+// watermark. Everything stays on the virtual clock, so fault runs are as
+// reproducible as fault-free ones: the same schedule, policy, and seed
+// always produce the same tuple sequence, arrival times, and fault events.
+package source
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/tukwila/adp/internal/types"
+)
+
+// FaultKind classifies an injected fault.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	// FaultTransient fails the read of one tuple for Times consecutive
+	// attempts; a retry policy with enough attempts absorbs it at the
+	// cost of backoff delay.
+	FaultTransient FaultKind = iota
+	// FaultStall delays the source: the affected tuple and everything
+	// after it arrive Stall virtual seconds later than scheduled.
+	FaultStall
+	// FaultPermanent kills the source at the scheduled tuple: no retry
+	// helps, only a mirror failover can recover.
+	FaultPermanent
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultTransient:
+		return "transient"
+	case FaultStall:
+		return "stall"
+	default:
+		return "permanent"
+	}
+}
+
+// Fault is one scheduled fault, triggered when the source is about to
+// deliver its At-th tuple (0-based: At=0 faults before the first tuple).
+type Fault struct {
+	// At is the 0-based index of the tuple whose read triggers the fault.
+	At int
+	// Kind selects the fault class.
+	Kind FaultKind
+	// Stall is the injected delay in virtual seconds (FaultStall only).
+	Stall float64
+	// Times is how many consecutive read attempts fail (FaultTransient
+	// only; <= 0 behaves as 1). When Times meets or exceeds the policy's
+	// MaxAttempts, retries are exhausted and the fault escalates to
+	// failover or permanent failure.
+	Times int
+}
+
+// FaultSchedule is an ordered list of faults for one source. Schedules
+// replay deterministically: the Faulty wrapper resolves each fault exactly
+// once, at the read of its scheduled tuple.
+type FaultSchedule struct {
+	Faults []Fault
+}
+
+// NewFaultSchedule builds a schedule, ordering faults by trigger index
+// (stable, so multiple faults at one index apply in the given order).
+func NewFaultSchedule(faults ...Fault) *FaultSchedule {
+	fs := &FaultSchedule{Faults: append([]Fault(nil), faults...)}
+	// Insertion sort: schedules are short and stability matters.
+	for i := 1; i < len(fs.Faults); i++ {
+		for j := i; j > 0 && fs.Faults[j].At < fs.Faults[j-1].At; j-- {
+			fs.Faults[j], fs.Faults[j-1] = fs.Faults[j-1], fs.Faults[j]
+		}
+	}
+	return fs
+}
+
+// RandomFaults draws a deterministic mixed schedule of count transient
+// faults and stalls over an n-tuple source: trigger indexes uniform in
+// [0,n), fault kind alternating by coin flip, transient lengths 1–2
+// attempts, stall durations exponential around meanStall virtual seconds.
+// The same (n, count, meanStall, seed) always yields the same schedule —
+// the chaos suite's reproducibility contract.
+func RandomFaults(n, count int, meanStall float64, seed int64) *FaultSchedule {
+	if n < 1 {
+		n = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	faults := make([]Fault, 0, count)
+	for i := 0; i < count; i++ {
+		at := rng.Intn(n)
+		if rng.Intn(2) == 0 {
+			faults = append(faults, Fault{At: at, Kind: FaultTransient, Times: 1 + rng.Intn(2)})
+		} else {
+			faults = append(faults, Fault{At: at, Kind: FaultStall, Stall: meanStall * rng.ExpFloat64()})
+		}
+	}
+	return NewFaultSchedule(faults...)
+}
+
+// RetryPolicy describes how one source's reads recover from faults. The
+// zero value is usable: it normalizes to 3 attempts with 0.5 s initial
+// backoff doubling per retry and no mirror.
+type RetryPolicy struct {
+	// MaxAttempts is the total read attempts per tuple before giving up
+	// (<= 0 = 3). Giving up means failover when a mirror is configured,
+	// permanent failure otherwise.
+	MaxAttempts int
+	// Backoff is the virtual-seconds wait before the first retry
+	// (<= 0 = 0.5).
+	Backoff float64
+	// BackoffFactor multiplies the wait after every retry (<= 0 = 2).
+	BackoffFactor float64
+	// Mirror, when set, is a replica relation to fail over to after
+	// retries are exhausted or the source dies permanently. The mirror
+	// resumes at the consumed watermark: tuples already delivered are
+	// skipped, so the reader sees each index exactly once.
+	Mirror *Relation
+	// MirrorSched is the mirror's delivery schedule (nil = immediate).
+	MirrorSched Schedule
+	// FailoverDelay is the virtual-seconds cost of switching to the
+	// mirror (connection setup; 0 = free).
+	FailoverDelay float64
+}
+
+// normalized fills policy defaults.
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 0.5
+	}
+	if p.BackoffFactor <= 0 {
+		p.BackoffFactor = 2
+	}
+	return p
+}
+
+// SourceError is the typed terminal error of a permanently failed source:
+// retries (and failover, if configured) could not recover the read.
+type SourceError struct {
+	// Source names the failed source.
+	Source string
+	// Tuple is the 0-based index of the tuple whose read failed; it is
+	// also the delivered watermark (tuples 0..Tuple-1 were delivered).
+	Tuple int
+	// Kind is the fault class that killed the source.
+	Kind FaultKind
+	// Attempts is the number of read attempts made on the failing tuple.
+	Attempts int
+}
+
+// Error implements error.
+func (e *SourceError) Error() string {
+	return fmt.Sprintf("source %q failed permanently at tuple %d (%s fault, %d attempts)",
+		e.Source, e.Tuple, e.Kind, e.Attempts)
+}
+
+// FaultEventKind classifies a fault-recovery observation.
+type FaultEventKind uint8
+
+// Fault event kinds.
+const (
+	// FaultEventStalled: the source stalled for Seconds virtual seconds.
+	FaultEventStalled FaultEventKind = iota
+	// FaultEventRetried: one read attempt failed and was retried after a
+	// Seconds backoff wait (Attempt numbers the retry, starting at 1).
+	FaultEventRetried
+	// FaultEventFailedOver: the source switched to its mirror at the
+	// consumed watermark.
+	FaultEventFailedOver
+	// FaultEventAbandoned: recovery failed; Err carries the terminal
+	// *SourceError and the provider delivers nothing further.
+	FaultEventAbandoned
+)
+
+// FaultEvent is one fault-recovery observation, delivered synchronously
+// on the reading goroutine as the wrapper resolves a scheduled fault.
+type FaultEvent struct {
+	// Source names the faulting source.
+	Source string
+	// Kind classifies the observation.
+	Kind FaultEventKind
+	// Tuple is the delivered watermark when the fault hit.
+	Tuple int
+	// Seconds is the injected delay: the stall duration (Stalled) or the
+	// backoff wait (Retried).
+	Seconds float64
+	// Attempt numbers the retry (Retried only, starting at 1).
+	Attempt int
+	// Err is the terminal error (Abandoned only).
+	Err error
+}
+
+// FaultStats counts one source's fault and recovery activity.
+type FaultStats struct {
+	// Transients counts injected transient faults encountered.
+	Transients int
+	// Stalls counts injected stalls; StallSeconds totals their duration.
+	Stalls       int
+	StallSeconds float64
+	// Retries counts retry attempts; BackoffSeconds totals their waits.
+	Retries        int
+	BackoffSeconds float64
+	// FailedOver reports whether the source switched to its mirror.
+	FailedOver bool
+	// Abandoned reports whether the source failed permanently.
+	Abandoned bool
+}
+
+// Faulty wraps a Provider with deterministic fault injection and recovery.
+// Faults resolve lazily at the read (or peek) of their scheduled tuple:
+// stalls and retry backoffs accumulate into a virtual-time penalty added
+// to every subsequent arrival — so the availability-ordered driver sees a
+// delayed source and naturally masks the delay with other sources' tuples
+// — while unrecoverable faults latch a terminal *SourceError, after which
+// Next and PeekArrival report not-ok and Faulted returns the error.
+//
+// After failover the remaining scheduled faults are ignored (they modeled
+// the dead primary); a mirror with its own failure modes is expressed by
+// composing wrappers — the mirror relation's provider may itself be a
+// Faulty.
+//
+// The zero-fault fast path (no schedule, or all faults resolved) is
+// allocation-free; the wrapper is not safe for concurrent use, matching
+// the Provider contract (one reading driver goroutine).
+type Faulty struct {
+	inner  Provider
+	sched  *FaultSchedule
+	policy RetryPolicy
+
+	mirror   Provider // non-nil once failed over
+	fi       int      // next unresolved schedule index
+	consumed int      // delivered watermark across primary and mirror
+	penalty  float64  // accumulated stall + backoff virtual seconds
+	failed   *SourceError
+
+	stats  FaultStats
+	notify func(FaultEvent)
+}
+
+// NewFaulty wraps inner with a fault schedule (nil = no injected faults)
+// and a recovery policy (zero value = defaults: 3 attempts, 0.5 s backoff
+// doubling, no mirror).
+func NewFaulty(inner Provider, sched *FaultSchedule, policy RetryPolicy) *Faulty {
+	return &Faulty{inner: inner, sched: sched, policy: policy.normalized()}
+}
+
+// SetNotify installs the fault-event observer (nil = off). Events fire
+// synchronously on the reading goroutine, in deterministic order.
+func (f *Faulty) SetNotify(fn func(FaultEvent)) { f.notify = fn }
+
+// Stats returns the fault and recovery counters so far.
+func (f *Faulty) Stats() FaultStats { return f.stats }
+
+// cur is the active underlying provider (mirror after failover).
+func (f *Faulty) cur() Provider {
+	if f.mirror != nil {
+		return f.mirror
+	}
+	return f.inner
+}
+
+// Name implements Provider.
+func (f *Faulty) Name() string { return f.inner.Name() }
+
+// Schema implements Provider.
+func (f *Faulty) Schema() *types.Schema { return f.inner.Schema() }
+
+// Total implements Provider (the active provider's cardinality).
+func (f *Faulty) Total() int { return f.cur().Total() }
+
+// Consumed implements Provider: the delivered watermark, carried across
+// failover.
+func (f *Faulty) Consumed() int { return f.consumed }
+
+// Exhausted implements Provider: true when nothing further will be
+// delivered — all tuples consumed, or the source failed permanently
+// (Faulted distinguishes).
+func (f *Faulty) Exhausted() bool { return f.failed != nil || f.cur().Exhausted() }
+
+// Faulted implements Provider.
+func (f *Faulty) Faulted() error {
+	if f.failed != nil {
+		return f.failed
+	}
+	return nil
+}
+
+// Next implements Provider.
+func (f *Faulty) Next() (Row, bool) {
+	if f.failed != nil {
+		return Row{}, false
+	}
+	if f.fi < f.schedLen() {
+		f.resolve()
+		if f.failed != nil {
+			return Row{}, false
+		}
+	}
+	r, ok := f.cur().Next()
+	if !ok {
+		return Row{}, false
+	}
+	f.consumed++
+	r.At += f.penalty
+	return r, true
+}
+
+// PeekArrival implements Provider. Peeking resolves faults scheduled at
+// the next tuple — recovery cost must be visible before the driver picks
+// this source by availability — so a peek can flip the provider into the
+// permanently-failed state.
+func (f *Faulty) PeekArrival() (float64, bool) {
+	if f.failed != nil {
+		return 0, false
+	}
+	if f.fi < f.schedLen() {
+		f.resolve()
+		if f.failed != nil {
+			return 0, false
+		}
+	}
+	at, ok := f.cur().PeekArrival()
+	if !ok {
+		return 0, false
+	}
+	return at + f.penalty, true
+}
+
+// Reset implements Provider: rewinds the underlying provider AND all
+// fault bookkeeping — schedule position, accumulated penalty, terminal
+// error, counters, and the mirror watermark — so a rerun over the same
+// wrapper replays the identical fault sequence (bench determinism).
+func (f *Faulty) Reset() {
+	f.inner.Reset()
+	f.mirror = nil
+	f.fi = 0
+	f.consumed = 0
+	f.penalty = 0
+	f.failed = nil
+	f.stats = FaultStats{}
+}
+
+// schedLen avoids a nil check on the hot path.
+func (f *Faulty) schedLen() int {
+	if f.sched == nil {
+		return 0
+	}
+	return len(f.sched.Faults)
+}
+
+// resolve applies every fault scheduled at (or before) the delivered
+// watermark, in schedule order, stopping early on permanent failure.
+func (f *Faulty) resolve() {
+	for f.fi < len(f.sched.Faults) {
+		if f.mirror != nil {
+			// Failed over: the rest of the schedule modeled the dead
+			// primary and no longer applies.
+			f.fi = len(f.sched.Faults)
+			return
+		}
+		ft := f.sched.Faults[f.fi]
+		if ft.At > f.consumed {
+			return
+		}
+		f.fi++
+		f.apply(ft)
+		if f.failed != nil {
+			return
+		}
+	}
+}
+
+// apply resolves one due fault.
+func (f *Faulty) apply(ft Fault) {
+	switch ft.Kind {
+	case FaultStall:
+		f.penalty += ft.Stall
+		f.stats.Stalls++
+		f.stats.StallSeconds += ft.Stall
+		f.emit(FaultEvent{Source: f.Name(), Kind: FaultEventStalled, Tuple: f.consumed, Seconds: ft.Stall})
+	case FaultTransient:
+		f.stats.Transients++
+		times := ft.Times
+		if times < 1 {
+			times = 1
+		}
+		if times < f.policy.MaxAttempts {
+			// Recoverable: attempts 1..times fail, each followed by a
+			// backoff wait, then the next attempt succeeds.
+			f.backoffRetries(times)
+			return
+		}
+		// Retries exhausted: MaxAttempts-1 retry waits were spent before
+		// giving up.
+		f.backoffRetries(f.policy.MaxAttempts - 1)
+		f.giveUp(ft.Kind, f.policy.MaxAttempts)
+	case FaultPermanent:
+		// Retrying a dead source is pointless: escalate immediately.
+		f.giveUp(ft.Kind, 1)
+	}
+}
+
+// backoffRetries charges n exponential backoff waits to the penalty and
+// emits one Retried event per retry.
+func (f *Faulty) backoffRetries(n int) {
+	wait := f.policy.Backoff
+	for i := 1; i <= n; i++ {
+		f.penalty += wait
+		f.stats.Retries++
+		f.stats.BackoffSeconds += wait
+		f.emit(FaultEvent{Source: f.Name(), Kind: FaultEventRetried, Tuple: f.consumed, Seconds: wait, Attempt: i})
+		wait *= f.policy.BackoffFactor
+	}
+}
+
+// giveUp escalates an unrecovered fault: failover to the mirror when one
+// is configured, permanent failure otherwise.
+func (f *Faulty) giveUp(kind FaultKind, attempts int) {
+	if f.policy.Mirror != nil && f.mirror == nil {
+		f.penalty += f.policy.FailoverDelay
+		f.mirror = NewProvider(f.policy.Mirror, f.policy.MirrorSched)
+		// Resume at the consumed watermark: every already-delivered index
+		// is skipped so the reader sees each tuple exactly once.
+		for f.mirror.Consumed() < f.consumed {
+			if _, ok := f.mirror.Next(); !ok {
+				break
+			}
+		}
+		f.stats.FailedOver = true
+		f.emit(FaultEvent{Source: f.Name(), Kind: FaultEventFailedOver, Tuple: f.consumed, Seconds: f.policy.FailoverDelay})
+		return
+	}
+	f.failed = &SourceError{Source: f.Name(), Tuple: f.consumed, Kind: kind, Attempts: attempts}
+	f.stats.Abandoned = true
+	f.emit(FaultEvent{Source: f.Name(), Kind: FaultEventAbandoned, Tuple: f.consumed, Err: f.failed})
+}
+
+// emit fires the notify hook, if any.
+func (f *Faulty) emit(ev FaultEvent) {
+	if f.notify != nil {
+		f.notify(ev)
+	}
+}

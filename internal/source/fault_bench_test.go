@@ -1,0 +1,32 @@
+package source
+
+import (
+	"testing"
+
+	"github.com/tukwila/adp/internal/types"
+)
+
+// BenchmarkFaultyNext pins the fault wrapper's no-fault fast path: a
+// Faulty with an empty (nil) schedule must read like a bare provider —
+// at most one alloc/op amortized (the budget covers Reset's rewind every
+// n ops; steady-state Next is allocation-free).
+func BenchmarkFaultyNext(b *testing.B) {
+	const n = 4096
+	s := types.NewSchema(types.Column{Name: "R.k", Kind: types.KindInt})
+	rows := make([]types.Tuple, n)
+	for i := range rows {
+		rows[i] = types.Tuple{types.Int(int64(i))}
+	}
+	rel := NewRelation("R", s, rows)
+	f := NewFaulty(NewProvider(rel, Bandwidth{TuplesPerSec: 1e6}), nil, RetryPolicy{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := f.PeekArrival(); !ok {
+			f.Reset()
+		}
+		if _, ok := f.Next(); !ok {
+			b.Fatal("unexpected exhaustion")
+		}
+	}
+}

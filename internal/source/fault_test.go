@@ -1,0 +1,321 @@
+package source
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/tukwila/adp/internal/types"
+)
+
+func testRel(name string, n int) *Relation {
+	s := types.NewSchema(types.Column{Name: name + ".k", Kind: types.KindInt})
+	rows := make([]types.Tuple, n)
+	for i := range rows {
+		rows[i] = types.Tuple{types.Int(int64(i))}
+	}
+	return NewRelation(name, s, rows)
+}
+
+// drain reads a provider to exhaustion, returning delivered rows.
+func drain(p Provider) []Row {
+	var out []Row
+	for {
+		r, ok := p.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+func TestFaultScheduleOrdersByTriggerIndex(t *testing.T) {
+	fs := NewFaultSchedule(
+		Fault{At: 7, Kind: FaultStall, Stall: 1},
+		Fault{At: 2, Kind: FaultTransient, Times: 1},
+		Fault{At: 7, Kind: FaultPermanent},
+		Fault{At: 0, Kind: FaultStall, Stall: 2},
+	)
+	wantAt := []int{0, 2, 7, 7}
+	for i, f := range fs.Faults {
+		if f.At != wantAt[i] {
+			t.Fatalf("fault %d at %d, want %d (%v)", i, f.At, wantAt[i], fs.Faults)
+		}
+	}
+	// Stable: the stall at 7 was given before the permanent at 7.
+	if fs.Faults[2].Kind != FaultStall || fs.Faults[3].Kind != FaultPermanent {
+		t.Fatalf("sort not stable: %v", fs.Faults)
+	}
+}
+
+func TestRandomFaultsDeterministic(t *testing.T) {
+	a := RandomFaults(1000, 8, 5.0, 42)
+	b := RandomFaults(1000, 8, 5.0, 42)
+	if len(a.Faults) != 8 || len(b.Faults) != 8 {
+		t.Fatalf("counts: %d, %d", len(a.Faults), len(b.Faults))
+	}
+	for i := range a.Faults {
+		if a.Faults[i] != b.Faults[i] {
+			t.Fatalf("fault %d differs across same-seed draws: %+v vs %+v", i, a.Faults[i], b.Faults[i])
+		}
+	}
+	c := RandomFaults(1000, 8, 5.0, 43)
+	same := true
+	for i := range a.Faults {
+		if a.Faults[i] != c.Faults[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestFaultyNoFaultsMatchesInner(t *testing.T) {
+	rel := testRel("R", 50)
+	sched := Bandwidth{TuplesPerSec: 10}
+	plain := drain(NewProvider(rel, sched))
+	faulty := drain(NewFaulty(NewProvider(rel, sched), nil, RetryPolicy{}))
+	if len(plain) != len(faulty) {
+		t.Fatalf("rows: %d vs %d", len(plain), len(faulty))
+	}
+	for i := range plain {
+		if plain[i].At != faulty[i].At || plain[i].T[0].I != faulty[i].T[0].I {
+			t.Fatalf("row %d differs: %+v vs %+v", i, plain[i], faulty[i])
+		}
+	}
+}
+
+func TestFaultyTransientRetriesWithBackoff(t *testing.T) {
+	rel := testRel("R", 10)
+	fs := NewFaultSchedule(Fault{At: 3, Kind: FaultTransient, Times: 2})
+	f := NewFaulty(NewProvider(rel, nil), fs, RetryPolicy{MaxAttempts: 3, Backoff: 1, BackoffFactor: 2})
+	var events []FaultEvent
+	f.SetNotify(func(ev FaultEvent) { events = append(events, ev) })
+
+	rows := drain(f)
+	if len(rows) != 10 {
+		t.Fatalf("delivered %d rows, want all 10", len(rows))
+	}
+	// Two retries: waits 1 and 2 virtual seconds -> penalty 3 on tuples >= 3.
+	for i, r := range rows {
+		want := 0.0
+		if i >= 3 {
+			want = 3.0
+		}
+		if r.At != want {
+			t.Fatalf("row %d arrival %g, want %g", i, r.At, want)
+		}
+	}
+	st := f.Stats()
+	if st.Transients != 1 || st.Retries != 2 || st.BackoffSeconds != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Abandoned || st.FailedOver {
+		t.Fatalf("recovered fault escalated: %+v", st)
+	}
+	if len(events) != 2 || events[0].Kind != FaultEventRetried || events[1].Attempt != 2 {
+		t.Fatalf("events = %+v", events)
+	}
+	if f.Faulted() != nil {
+		t.Fatal("recovered provider reports a fault")
+	}
+}
+
+func TestFaultyStallDelaysRemainder(t *testing.T) {
+	rel := testRel("R", 6)
+	fs := NewFaultSchedule(Fault{At: 2, Kind: FaultStall, Stall: 7.5})
+	f := NewFaulty(NewProvider(rel, nil), fs, RetryPolicy{})
+	rows := drain(f)
+	if len(rows) != 6 {
+		t.Fatalf("delivered %d rows", len(rows))
+	}
+	for i, r := range rows {
+		want := 0.0
+		if i >= 2 {
+			want = 7.5
+		}
+		if r.At != want {
+			t.Fatalf("row %d arrival %g, want %g", i, r.At, want)
+		}
+	}
+	st := f.Stats()
+	if st.Stalls != 1 || st.StallSeconds != 7.5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFaultyPermanentDeathFailsFast(t *testing.T) {
+	rel := testRel("R", 10)
+	fs := NewFaultSchedule(Fault{At: 4, Kind: FaultPermanent})
+	f := NewFaulty(NewProvider(rel, nil), fs, RetryPolicy{})
+	rows := drain(f)
+	if len(rows) != 4 {
+		t.Fatalf("dead source delivered %d rows, want the 4-tuple prefix", len(rows))
+	}
+	if _, ok := f.PeekArrival(); ok {
+		t.Fatal("dead source still peeks available")
+	}
+	if !f.Exhausted() {
+		t.Fatal("dead source not exhausted")
+	}
+	var se *SourceError
+	if err := f.Faulted(); !errors.As(err, &se) {
+		t.Fatalf("Faulted() = %v, want *SourceError", err)
+	} else if se.Source != "R" || se.Tuple != 4 || se.Kind != FaultPermanent {
+		t.Fatalf("SourceError = %+v", se)
+	}
+	if !f.Stats().Abandoned {
+		t.Fatalf("stats = %+v", f.Stats())
+	}
+}
+
+func TestFaultyTransientExhaustsRetries(t *testing.T) {
+	rel := testRel("R", 10)
+	fs := NewFaultSchedule(Fault{At: 1, Kind: FaultTransient, Times: 5})
+	f := NewFaulty(NewProvider(rel, nil), fs, RetryPolicy{MaxAttempts: 3, Backoff: 1, BackoffFactor: 2})
+	rows := drain(f)
+	if len(rows) != 1 {
+		t.Fatalf("delivered %d rows, want 1", len(rows))
+	}
+	var se *SourceError
+	if err := f.Faulted(); !errors.As(err, &se) || se.Attempts != 3 {
+		t.Fatalf("Faulted() = %v, want *SourceError with 3 attempts", err)
+	}
+	st := f.Stats()
+	// MaxAttempts-1 = 2 retry waits (1 + 2 seconds) were spent first.
+	if st.Retries != 2 || st.BackoffSeconds != 3 || !st.Abandoned {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFaultyMirrorFailoverResumesAtWatermark(t *testing.T) {
+	rel := testRel("R", 10)
+	mirror := testRel("R", 10)
+	fs := NewFaultSchedule(
+		Fault{At: 4, Kind: FaultPermanent},
+		// Scheduled after the failover: models the dead primary, ignored.
+		Fault{At: 7, Kind: FaultPermanent},
+	)
+	f := NewFaulty(NewProvider(rel, nil), fs, RetryPolicy{
+		Mirror: mirror, FailoverDelay: 2.5,
+	})
+	rows := drain(f)
+	if len(rows) != 10 {
+		t.Fatalf("failover delivered %d rows, want all 10", len(rows))
+	}
+	// Exactly-once across the failover: indexes 0..9 in order.
+	for i, r := range rows {
+		if r.T[0].I != int64(i) {
+			t.Fatalf("row %d carries key %d: duplicate or gap across failover", i, r.T[0].I)
+		}
+		want := 0.0
+		if i >= 4 {
+			want = 2.5 // failover delay
+		}
+		if r.At != want {
+			t.Fatalf("row %d arrival %g, want %g", i, r.At, want)
+		}
+	}
+	st := f.Stats()
+	if !st.FailedOver || st.Abandoned {
+		t.Fatalf("stats = %+v", st)
+	}
+	if f.Faulted() != nil {
+		t.Fatalf("failed-over source reports fault %v", f.Faulted())
+	}
+	if f.Consumed() != 10 || !f.Exhausted() {
+		t.Fatalf("consumed=%d exhausted=%v", f.Consumed(), f.Exhausted())
+	}
+}
+
+func TestFaultyPeekResolvesFaults(t *testing.T) {
+	// Recovery cost must be visible at peek time: the driver picks sources
+	// by availability before reading.
+	rel := testRel("R", 5)
+	fs := NewFaultSchedule(Fault{At: 0, Kind: FaultStall, Stall: 9})
+	f := NewFaulty(NewProvider(rel, nil), fs, RetryPolicy{})
+	at, ok := f.PeekArrival()
+	if !ok || at != 9 {
+		t.Fatalf("PeekArrival = %g, %v; want 9 (stall resolved at peek)", at, ok)
+	}
+}
+
+func TestFaultyResetAfterFault(t *testing.T) {
+	// Satellite: Reset must rewind fault bookkeeping and mirror watermarks
+	// so a rerun replays the identical fault sequence.
+	rel := testRel("R", 8)
+	mirror := testRel("R", 8)
+	fs := NewFaultSchedule(
+		Fault{At: 2, Kind: FaultTransient, Times: 1},
+		Fault{At: 5, Kind: FaultPermanent},
+	)
+	f := NewFaulty(NewProvider(rel, nil), fs, RetryPolicy{
+		MaxAttempts: 3, Backoff: 1, BackoffFactor: 2,
+		Mirror: mirror, FailoverDelay: 4,
+	})
+	run := func() ([]Row, FaultStats) {
+		rows := drain(f)
+		return rows, f.Stats()
+	}
+	rows1, st1 := run()
+	f.Reset()
+	if f.Consumed() != 0 || f.Faulted() != nil || f.Stats() != (FaultStats{}) {
+		t.Fatalf("Reset left state: consumed=%d faulted=%v stats=%+v",
+			f.Consumed(), f.Faulted(), f.Stats())
+	}
+	rows2, st2 := run()
+	if st1 != st2 {
+		t.Fatalf("stats differ across Reset: %+v vs %+v", st1, st2)
+	}
+	if len(rows1) != len(rows2) || len(rows1) != 8 {
+		t.Fatalf("rows: %d vs %d, want 8", len(rows1), len(rows2))
+	}
+	for i := range rows1 {
+		if rows1[i].At != rows2[i].At || rows1[i].T[0].I != rows2[i].T[0].I {
+			t.Fatalf("row %d differs across Reset: %+v vs %+v", i, rows1[i], rows2[i])
+		}
+	}
+
+	// And after a non-recovered (abandoned) fault: Reset revives the source.
+	dead := NewFaulty(NewProvider(testRel("D", 6), nil), NewFaultSchedule(
+		Fault{At: 3, Kind: FaultPermanent}), RetryPolicy{})
+	if got := len(drain(dead)); got != 3 {
+		t.Fatalf("pre-Reset delivered %d", got)
+	}
+	if dead.Faulted() == nil {
+		t.Fatal("source not dead before Reset")
+	}
+	dead.Reset()
+	if dead.Faulted() != nil || dead.Exhausted() {
+		t.Fatal("Reset did not revive the source")
+	}
+	if got := len(drain(dead)); got != 3 {
+		t.Fatalf("post-Reset replay delivered %d rows, want the same 3", got)
+	}
+}
+
+func TestFaultyEventSequenceDeterministic(t *testing.T) {
+	rel := testRel("R", 20)
+	fs := RandomFaults(20, 6, 3.0, 7)
+	capture := func() []FaultEvent {
+		f := NewFaulty(NewProvider(rel, nil), fs, RetryPolicy{MaxAttempts: 2, Backoff: 0.25})
+		var evs []FaultEvent
+		f.SetNotify(func(ev FaultEvent) { evs = append(evs, ev) })
+		drain(f)
+		return evs
+	}
+	a, b := capture(), capture()
+	if len(a) == 0 {
+		t.Fatal("schedule produced no events; fixture too weak")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].Tuple != b[i].Tuple ||
+			a[i].Seconds != b[i].Seconds || a[i].Attempt != b[i].Attempt {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -187,10 +187,48 @@ func (s *relStream) Next() (Row, bool) {
 	return r, true
 }
 
-// Provider hands out fresh one-pass streams for a named source; each ADP
-// phase resumes reading where the previous stream stopped, so the provider
-// also supports opening a stream at an offset.
-type Provider struct {
+// Provider hands out the tuples of one named source across the phases of
+// a run; each ADP phase resumes reading where the previous phase stopped,
+// so a provider is a single resumable read position, not a rescannable
+// stream. It is an interface so the read path can be wrapped: NewProvider
+// returns the plain relation-backed provider, NewFaulty layers
+// deterministic fault injection and recovery on top of any provider.
+type Provider interface {
+	// Name identifies the source.
+	Name() string
+	// Schema is the tuple layout.
+	Schema() *types.Schema
+	// Total returns the full cardinality (known only to the simulator;
+	// the engine must not peek — it learns cardinality by reading).
+	Total() int
+	// Consumed reports how many tuples have been handed out.
+	Consumed() int
+	// Exhausted reports whether no further tuples will ever be delivered
+	// (all delivered, or the source failed permanently — Faulted
+	// distinguishes).
+	Exhausted() bool
+	// Next delivers the next tuple across all phases (the "resumes
+	// reading the source relations — thus consuming all remaining
+	// tuples" behaviour, §2.2). ok=false when the source is exhausted or
+	// has failed permanently.
+	Next() (Row, bool)
+	// PeekArrival returns the availability time of the next undelivered
+	// tuple (used by availability-ordered interleaving); ok=false when
+	// exhausted or permanently failed.
+	PeekArrival() (float64, bool)
+	// Reset rewinds the provider to the start, including any fault,
+	// retry, and mirror bookkeeping (the test/benchmark harness uses
+	// this to run the same workload under multiple strategies).
+	Reset()
+	// Faulted reports the terminal source error, non-nil once the
+	// provider has failed permanently (a *SourceError); healthy and
+	// merely exhausted providers return nil.
+	Faulted() error
+}
+
+// relProvider is the plain Provider over an in-memory relation with a
+// delivery schedule; it never faults.
+type relProvider struct {
 	rel   *Relation
 	sched Schedule
 	// consumed is the number of tuples already delivered to earlier
@@ -199,33 +237,30 @@ type Provider struct {
 }
 
 // NewProvider wraps a relation and delivery schedule.
-func NewProvider(rel *Relation, sched Schedule) *Provider {
+func NewProvider(rel *Relation, sched Schedule) Provider {
 	if sched == nil {
 		sched = Immediate{}
 	}
-	return &Provider{rel: rel, sched: sched}
+	return &relProvider{rel: rel, sched: sched}
 }
 
 // Name returns the source name.
-func (p *Provider) Name() string { return p.rel.Name }
+func (p *relProvider) Name() string { return p.rel.Name }
 
 // Schema returns the source schema.
-func (p *Provider) Schema() *types.Schema { return p.rel.Schema }
+func (p *relProvider) Schema() *types.Schema { return p.rel.Schema }
 
-// Total returns the full cardinality (known only to the simulator; the
-// engine must not peek — it learns cardinality by reading).
-func (p *Provider) Total() int { return len(p.rel.Rows) }
+// Total implements Provider.
+func (p *relProvider) Total() int { return len(p.rel.Rows) }
 
-// Consumed reports how many tuples have been handed out.
-func (p *Provider) Consumed() int { return p.consumed }
+// Consumed implements Provider.
+func (p *relProvider) Consumed() int { return p.consumed }
 
-// Exhausted reports whether all tuples were delivered.
-func (p *Provider) Exhausted() bool { return p.consumed >= len(p.rel.Rows) }
+// Exhausted implements Provider.
+func (p *relProvider) Exhausted() bool { return p.consumed >= len(p.rel.Rows) }
 
-// Next delivers the next tuple across all phases (the "resumes reading
-// the source relations — thus consuming all remaining tuples" behaviour,
-// §2.2). ok=false when the source is exhausted.
-func (p *Provider) Next() (Row, bool) {
+// Next implements Provider.
+func (p *relProvider) Next() (Row, bool) {
 	if p.consumed >= len(p.rel.Rows) {
 		return Row{}, false
 	}
@@ -234,15 +269,16 @@ func (p *Provider) Next() (Row, bool) {
 	return r, true
 }
 
-// Reset rewinds the provider (only the test/benchmark harness uses this,
-// to run the same workload under multiple strategies).
-func (p *Provider) Reset() { p.consumed = 0 }
+// Reset implements Provider.
+func (p *relProvider) Reset() { p.consumed = 0 }
 
-// PeekArrival returns the availability time of the next undelivered tuple
-// (used by availability-ordered interleaving); ok=false when exhausted.
-func (p *Provider) PeekArrival() (float64, bool) {
+// PeekArrival implements Provider.
+func (p *relProvider) PeekArrival() (float64, bool) {
 	if p.consumed >= len(p.rel.Rows) {
 		return 0, false
 	}
 	return p.sched.ArrivalAt(p.consumed), true
 }
+
+// Faulted implements Provider: a plain relation provider never faults.
+func (p *relProvider) Faulted() error { return nil }

@@ -44,6 +44,7 @@ check 'BenchmarkMergeJoinPush/batch'         4  # PR 2: batched ordered merge jo
 check 'BenchmarkAggTableAbsorb'              1  # group-by absorb: zero steady-state (1 = headroom)
 check 'BenchmarkExchangePartition'           2  # PR 4: exchange scatter, steady-state <= 2 per batch
 check 'BenchmarkStreamDelivery'              2  # PR 5: cursor Next() per row, whole pipeline on the count
+check 'BenchmarkFaultyNext'                  1  # PR 6: fault wrapper no-fault fast path (1 = Reset headroom)
 
 if [ "$fail" -ne 0 ]; then
   echo "check-allocs: allocation budgets regressed" >&2
