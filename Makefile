@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test bench bench-perf check-fmt check-allocs fuzz-short examples chaos ci
+.PHONY: all vet build test bench bench-perf check-fmt check-allocs fuzz-short examples chaos serve-smoke ci
 
 all: ci
 
@@ -35,6 +35,7 @@ bench-perf:
 	$(GO) test -run='^$$' -bench='BenchmarkPipelinedJoinPush|BenchmarkMergeJoinPush|BenchmarkAggTableAbsorb|BenchmarkHashKeys|BenchmarkExchangePartition' -benchmem ./internal/exec/
 	$(GO) test -run='^$$' -bench='BenchmarkStreamDelivery' -benchmem ./internal/engine/
 	$(GO) test -run='^$$' -bench='BenchmarkFaultyNext' -benchmem ./internal/source/
+	$(GO) test -run='^$$' -bench='BenchmarkRowEncode|BenchmarkServeQuery' -benchmem ./internal/server/
 
 # Examples gate: the runnable examples must keep building and vetting
 # cleanly (they are real module packages, so rot breaks users first).
@@ -59,8 +60,15 @@ check-allocs:
 chaos:
 	$(GO) test -race -count=1 -run='Fault|Chaos' ./internal/source/ ./internal/core/ ./internal/engine/
 
+# Black-box smoke of the deployable server binary: build it, boot it on
+# a random port, stream a query, check /healthz + /metrics + SSE events,
+# SIGTERM, and require a clean drain + exit 0 (PR 7).
+serve-smoke:
+	$(GO) build -o bin/adpserve ./cmd/adpserve
+	$(GO) run ./scripts/servesmoke -bin bin/adpserve
+
 # Full benchmark sweep (paper figures; slow).
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
 
-ci: check-fmt vet build test examples fuzz-short chaos check-allocs
+ci: check-fmt vet build test examples fuzz-short chaos check-allocs serve-smoke

@@ -8,6 +8,7 @@ import (
 	"github.com/tukwila/adp/internal/exec"
 	"github.com/tukwila/adp/internal/expr"
 	"github.com/tukwila/adp/internal/opt"
+	"github.com/tukwila/adp/internal/server"
 	"github.com/tukwila/adp/internal/source"
 	"github.com/tukwila/adp/internal/types"
 )
@@ -378,6 +379,53 @@ type BatchSink = exec.BatchSink
 
 // SinkFunc adapts a function to a Sink.
 type SinkFunc = exec.SinkFunc
+
+// ---- Plan cache ----------------------------------------------------------
+
+// Fingerprint returns the canonical query-shape fingerprint used as the
+// plan-cache key: query structure plus the optimizer-relevant options
+// (pre-aggregation mode, advertised cardinalities), excluding execution
+// knobs like strategy and partitions.
+var Fingerprint = engine.Fingerprint
+
+// PlanCache is a concurrency-safe LRU cache of initial optimized plans
+// keyed by Fingerprint; a hit lets a run skip the optimizer entirely and
+// is semantically inert (byte-identical rows).
+type PlanCache = engine.PlanCache
+
+// PlanCacheStats is a point-in-time snapshot of a cache's hit/miss/size
+// counters.
+type PlanCacheStats = engine.PlanCacheStats
+
+// NewPlanCache creates a plan cache (capacity <= 0 selects
+// DefaultPlanCacheSize).
+var NewPlanCache = engine.NewPlanCache
+
+// DefaultPlanCacheSize is the capacity NewPlanCache defaults to.
+const DefaultPlanCacheSize = engine.DefaultPlanCacheSize
+
+// ---- Query service -------------------------------------------------------
+
+// Server serves Engine.Stream over HTTP: POST /v1/query streams results
+// as NDJSON frames, GET /v1/query/{id}/events replays the
+// adaptive-execution event feed as server-sent events, plus /healthz and
+// Prometheus-text /metrics. It layers admission control, per-query
+// deadline/partition/row budgets, a Fingerprint-keyed plan cache, and
+// graceful drain over the engine; see docs/wire-protocol.md and
+// docs/operations.md. Server implements http.Handler for in-process
+// embedding (examples/server); cmd/adpserve is the deployable binary.
+type Server = server.Server
+
+// ServerConfig tunes a Server's admission, budgets, plan cache, drain,
+// and source fault policies; the zero value selects production defaults.
+type ServerConfig = server.Config
+
+// NewServer builds a query service over an engine.
+var NewServer = server.New
+
+// WireProtocolVersion is the query service's wire protocol version (the
+// /v1 path prefix).
+const WireProtocolVersion = server.ProtocolVersion
 
 // ---- TPC-H-style data generation ----------------------------------------
 

@@ -1,0 +1,178 @@
+// Command adpserve serves the adaptive query engine over HTTP: a
+// generated TPC-H-style dataset behind the streaming wire protocol
+// (docs/wire-protocol.md), with admission control, plan caching, and
+// graceful drain on SIGTERM (docs/operations.md).
+//
+// Usage:
+//
+//	adpserve -addr :8080 -sf 0.01
+//	adpserve -addr :0 -sf 0.005 -skewed -cards
+//	adpserve -fault random -fault-rel lineitem -fault-seed 7
+//
+// The workload queries (Q3, Q3A, Q10, Q10A, Q5) are pre-registered and
+// invocable by name:
+//
+//	curl -sN localhost:8080/v1/query -d '{"query":{"prepared":"Q3A"},
+//	    "options":{"strategy":"corrective","partitions":4}}'
+//
+// The server prints "adpserve: listening on <addr>" once the listener is
+// bound (so -addr :0 is scriptable), serves until SIGINT/SIGTERM, then
+// drains: no new queries are admitted and every in-flight stream runs to
+// completion before the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/tukwila/adp/internal/datagen"
+	"github.com/tukwila/adp/internal/engine"
+	"github.com/tukwila/adp/internal/server"
+	"github.com/tukwila/adp/internal/source"
+	"github.com/tukwila/adp/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address (:0 picks a free port)")
+		sf       = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		skewed   = flag.Bool("skewed", false, "use the Zipf-skewed dataset")
+		cards    = flag.Bool("cards", false, "advertise exact cardinalities to the optimizer")
+		wireless = flag.Bool("wireless", false, "deliver sources over a simulated bursty link")
+
+		maxConcurrent = flag.Int("max-concurrent", 8, "queries executing at once")
+		queueDepth    = flag.Int("queue-depth", 32, "admission queue depth (0 rejects at saturation)")
+		queueTimeout  = flag.Duration("queue-timeout", 5*time.Second, "max admission-queue wait")
+		deadline      = flag.Duration("deadline", 30*time.Second, "default per-query execution deadline")
+		maxDeadline   = flag.Duration("max-deadline", 0, "cap on request-supplied deadlines (0 = uncapped)")
+		maxPartitions = flag.Int("max-partitions", 8, "per-query partition budget")
+		maxRows       = flag.Int64("max-rows", 0, "per-query result-row budget (0 = unlimited)")
+		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain bound on SIGTERM")
+		planCache     = flag.Int("plan-cache", 0, "plan cache entries (0 = default, <0 disables)")
+
+		fault     = flag.String("fault", "", "inject faults into one relation (transient|stall|dead|failover|random)")
+		faultRel  = flag.String("fault-rel", "lineitem", "relation the -fault schedule targets")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for -fault random schedules")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		MaxConcurrent:   *maxConcurrent,
+		QueueDepth:      *queueDepth,
+		QueueTimeout:    *queueTimeout,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		MaxPartitions:   *maxPartitions,
+		MaxRowsPerQuery: *maxRows,
+		DrainTimeout:    *drainTimeout,
+		PlanCacheSize:   *planCache,
+	}
+	if err := run(*addr, *sf, *seed, *skewed, *cards, *wireless, cfg, *fault, *faultRel, *faultSeed); err != nil {
+		fmt.Fprintln(os.Stderr, "adpserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, sf float64, seed int64, skewed, cards, wireless bool, cfg server.Config, fault, faultRel string, faultSeed int64) error {
+	fmt.Printf("adpserve: generating TPC-H sf=%g (skewed=%v) ...\n", sf, skewed)
+	d := datagen.Generate(datagen.Config{ScaleFactor: sf, Seed: seed, Skewed: skewed, Z: datagen.DefaultZ})
+	eng := engine.New()
+	for _, rel := range d.Relations() {
+		if wireless {
+			eng.RegisterRemote(rel, source.NewBursty(rel.Len(), 1_000_000, 8000, 0.01, seed+int64(rel.Len())))
+		} else {
+			eng.Register(rel)
+		}
+	}
+	if cards {
+		for name, card := range workload.KnownCards(d) {
+			eng.AdvertiseCardinality(name, card)
+		}
+	}
+	if fault != "" {
+		policy, err := injectFaults(eng, fault, faultRel, faultSeed)
+		if err != nil {
+			return err
+		}
+		cfg.SourcePolicies = map[string]source.RetryPolicy{faultRel: policy}
+		fmt.Printf("adpserve: injecting %s fault(s) into %s\n", fault, faultRel)
+	}
+
+	svc := server.New(eng, cfg)
+	for _, q := range workload.All() {
+		svc.RegisterPrepared(q.Name, q)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("adpserve: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: svc}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		fmt.Printf("adpserve: %s — draining (in-flight queries run to completion) ...\n", sig)
+	}
+
+	// Drain: stop admitting, let cursors finish, then close the listener.
+	if err := svc.Shutdown(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "adpserve: drain incomplete: %v\n", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	fmt.Println("adpserve: drained, bye")
+	return nil
+}
+
+// injectFaults arms a canned fault scenario on one registered relation
+// and returns the matching recovery policy, mirroring the library path
+// (Engine.InjectFaults + Options.SourcePolicies) — the worked chaos
+// example in docs/operations.md drives exactly this.
+func injectFaults(eng *engine.Engine, mode, rel string, seed int64) (source.RetryPolicy, error) {
+	r, ok := eng.Relation(rel)
+	if !ok {
+		return source.RetryPolicy{}, fmt.Errorf("-fault-rel: unknown relation %q", rel)
+	}
+	n := r.Len()
+	policy := source.RetryPolicy{MaxAttempts: 4, Backoff: 0.5}
+	switch mode {
+	case "transient":
+		eng.InjectFaults(rel, source.NewFaultSchedule(
+			source.Fault{At: n / 3, Kind: source.FaultTransient, Times: 2}))
+	case "stall":
+		eng.InjectFaults(rel, source.NewFaultSchedule(
+			source.Fault{At: n / 4, Kind: source.FaultStall, Stall: 5}))
+	case "dead":
+		eng.InjectFaults(rel, source.NewFaultSchedule(
+			source.Fault{At: n / 2, Kind: source.FaultPermanent}))
+	case "failover":
+		policy.Mirror = r
+		policy.FailoverDelay = 2
+		eng.InjectFaults(rel, source.NewFaultSchedule(
+			source.Fault{At: n / 2, Kind: source.FaultPermanent}))
+	case "random":
+		eng.InjectFaults(rel, source.RandomFaults(n, 6, 3.0, seed))
+	default:
+		return policy, fmt.Errorf("unknown -fault mode %q (transient|stall|dead|failover|random)", mode)
+	}
+	return policy, nil
+}

@@ -34,18 +34,6 @@
 //		GroupBy("customers.name").
 //		Agg(adp.AggSum, adp.Column("orders.total"), "spend").
 //		MustBuild()
-//	report, err := eng.Execute(q, adp.Options{Strategy: adp.StrategyCorrective})
-//
-// The Report carries result rows plus the execution narrative: phases run,
-// plans used, stitch-up time, and tuples reused from prior phases.
-//
-// # Streaming results
-//
-// Execute blocks until the run ends. Engine.Stream is the streaming
-// entry point — the engine's one true execution path, of which Execute
-// is a thin consumer — returning a cursor whose rows arrive while the
-// run executes:
-//
 //	s, err := eng.Stream(ctx, q,
 //		adp.WithStrategy(adp.StrategyCorrective),
 //		adp.WithPartitions(4),
@@ -53,6 +41,15 @@
 //	defer s.Close()
 //	for row, err := range s.Rows() { … }   // or s.Next()
 //	report, err := s.Report()
+//
+// The Report carries the execution narrative: phases run, plans used,
+// stitch-up time, and tuples reused from prior phases. Engine.Execute is
+// the blocking form — a thin consumer of Stream (the engine's one true
+// execution path) that collects every row into Report.Rows.
+//
+// # Streaming results
+//
+// Stream returns a cursor whose rows arrive while the run executes.
 //
 // Cursor lifecycle: Stream validates synchronously and starts the run on
 // a background goroutine; Rows/Next deliver result rows (single
@@ -204,7 +201,24 @@
 // GOMAXPROCS={1,4} matrix leg checks the parallel executor at both
 // scheduling extremes, so these wins cannot silently regress.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured results; cmd/adpbench regenerates every table and
-// figure of the paper's evaluation.
+// # Query service
+//
+// cmd/adpserve puts Engine.Stream on the network (internal/server): POST
+// /v1/query streams results as NDJSON frames — one schema frame, row
+// frames as the engine produces them, one terminal report or error frame
+// — and GET /v1/query/{id}/events replays the adaptive-execution event
+// feed as server-sent events. The service adds the production plumbing
+// the library leaves out: admission control with a bounded wait queue,
+// per-query deadline/partition/row budgets, a query-shape plan cache
+// (NewPlanCache, Fingerprint) that lets repeated queries skip the
+// optimizer, Prometheus-text metrics, and graceful drain that never cuts
+// an in-flight stream. Rows on the wire are byte-identical to encoding
+// the direct cursor. NewServer constructs the handler for in-process
+// embedding; see docs/wire-protocol.md for the framing contract and
+// docs/operations.md for tuning.
+//
+// See README.md for the project quickstart, docs/architecture.md for the
+// layer map and determinism contract, and ROADMAP.md for the growth
+// history; cmd/adpbench regenerates every table and figure of the
+// paper's evaluation.
 package adp

@@ -1,0 +1,100 @@
+// Example server: the adaptive query engine behind the HTTP wire
+// protocol, in one process. Boots the query service over a small TPC-H
+// dataset, streams a corrective query as NDJSON frames, replays its
+// adaptive-execution events over SSE, shows the plan cache turning the
+// second run into a hit, and drains gracefully.
+//
+// Run with: go run ./examples/server
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"github.com/tukwila/adp/internal/datagen"
+	"github.com/tukwila/adp/internal/engine"
+	"github.com/tukwila/adp/internal/server"
+	"github.com/tukwila/adp/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Engine + service over a generated dataset; the workload queries
+	// are registered as prepared statements invocable by name.
+	d := datagen.Generate(datagen.Config{ScaleFactor: 0.002, Seed: 42})
+	eng := engine.New()
+	for _, rel := range d.Relations() {
+		eng.Register(rel)
+	}
+	svc := server.New(eng, server.Config{MaxConcurrent: 4})
+	for _, q := range workload.All() {
+		svc.RegisterPrepared(q.Name, q)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serving on", base)
+
+	// Stream Q3A twice: the first run fills the plan cache (the report
+	// frame says "miss"), the second skips the optimizer ("hit").
+	var queryID string
+	for run := 0; run < 2; run++ {
+		resp, err := http.Post(base+"/v1/query", "application/json", strings.NewReader(
+			`{"query":{"prepared":"Q3A"},"options":{"strategy":"corrective","partitions":2}}`))
+		if err != nil {
+			return err
+		}
+		queryID = resp.Header.Get("Adp-Query-Id")
+		rows, tail := 0, ""
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, `{"type":"row"`):
+				rows++
+			case strings.HasPrefix(line, `{"type":"schema"`):
+				fmt.Printf("run %d schema: %.70s...\n", run, line)
+			default:
+				tail = line
+			}
+		}
+		resp.Body.Close()
+		fmt.Printf("run %d: %d rows, report: %.110s...\n", run, rows, tail)
+	}
+
+	// Replay the last run's adaptive-execution narrative over SSE.
+	resp, err := http.Get(base + "/v1/query/" + queryID + "/events")
+	if err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if ev, ok := strings.CutPrefix(sc.Text(), "event: "); ok {
+			fmt.Println("event:", ev)
+		}
+	}
+	resp.Body.Close()
+
+	// Graceful drain: stop admitting, finish in-flight streams, exit.
+	if err := svc.Shutdown(context.Background()); err != nil {
+		return err
+	}
+	fmt.Println("drained")
+	return httpSrv.Close()
+}

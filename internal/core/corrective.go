@@ -112,6 +112,19 @@ type Options struct {
 	PartialResults bool
 	// Cost overrides the cost model.
 	Cost *exec.CostModel
+	// InitialPlan, when non-nil, is adopted as phase 0's plan and the
+	// initial optimizer call is skipped entirely (the plan-cache fast
+	// path of the query service). The plan must come from a previous
+	// optimization of the same query shape under the same inputs —
+	// Optimize is deterministic, so a cached plan reproduces the
+	// optimizer's choice exactly and the run's rows are byte-identical
+	// to an uncached one. Static and Corrective only; the PlanPartition
+	// strategy re-optimizes mid-run by design and ignores this field.
+	InitialPlan algebra.Plan
+	// OnInitialPlan, when set, observes the initial optimized plan —
+	// invoked only when the optimizer actually ran (InitialPlan was
+	// nil). This is the plan cache's fill hook.
+	OnInitialPlan func(algebra.Plan)
 	// OnPoll, when set, observes every monitor decision (diagnostics):
 	// the extrapolated remaining cost of the current plan, the candidate
 	// plan's estimated cost, the stitch-up penalty, and whether a switch
@@ -468,13 +481,20 @@ func (ex *executor) stitchPenalty() float64 {
 
 // runPhased executes the Static and Corrective strategies.
 func (ex *executor) runPhased() error {
-	initial, err := opt.Optimize(opt.Inputs{
-		Query: ex.q, Known: ex.o.Known, Cost: ex.ctx.Cost, PreAgg: ex.o.PreAgg,
-	})
-	if err != nil {
-		return err
+	current := ex.o.InitialPlan
+	if current == nil {
+		initial, err := opt.Optimize(opt.Inputs{
+			Query: ex.q, Known: ex.o.Known, Cost: ex.ctx.Cost, PreAgg: ex.o.PreAgg,
+		})
+		if err != nil {
+			return err
+		}
+		current = initial.Root
+		if ex.o.OnInitialPlan != nil {
+			ex.o.OnInitialPlan(current)
+		}
 	}
-	current := initial.Root
+	var err error
 	for {
 		if cerr := ex.runCtx.Err(); cerr != nil {
 			return cerr

@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/tukwila/adp/internal/algebra"
+	"github.com/tukwila/adp/internal/core"
+)
+
+// Fingerprint returns the canonical query-shape key of (q, o): two
+// executions share a fingerprint exactly when the optimizer would see the
+// same inputs and therefore produce the same initial plan. The key covers
+// the query structure (relations with their schemas, per-relation filters,
+// the join graph in canonical predicate order, grouping, aggregates,
+// projection) and every option the initial optimization depends on
+// (pre-aggregation mode and known cardinalities). Options that shape
+// execution but not the optimizer's plan choice — strategy, partitions,
+// polling cadence, fault policies — are deliberately excluded, so a
+// corrective and a static run of the same query share one cache entry.
+//
+// The fingerprint is a readable canonical string, not a hash: it doubles
+// as a diagnostic label and collisions are impossible by construction.
+func Fingerprint(q *algebra.Query, o core.Options) string {
+	var b strings.Builder
+	b.Grow(256)
+	b.WriteString("v1")
+	for _, r := range q.Relations {
+		b.WriteString("|rel:")
+		b.WriteString(r.Name)
+		b.WriteByte('{')
+		b.WriteString(r.Schema.String())
+		b.WriteByte('}')
+		if p, ok := q.Filters[r.Name]; ok && p != nil {
+			b.WriteString("|flt:")
+			b.WriteString(r.Name)
+			b.WriteByte('=')
+			b.WriteString(p.String())
+		}
+	}
+	joins := make([]string, len(q.Joins))
+	for i, j := range q.Joins {
+		joins[i] = j.String() // canonical: sides ordered by relation name
+	}
+	sort.Strings(joins)
+	for _, j := range joins {
+		b.WriteString("|join:")
+		b.WriteString(j)
+	}
+	for _, g := range q.GroupBy {
+		b.WriteString("|grp:")
+		b.WriteString(g)
+	}
+	for _, a := range q.Aggs {
+		b.WriteString("|agg:")
+		b.WriteString(a.String())
+	}
+	for _, p := range q.Project {
+		b.WriteString("|proj:")
+		b.WriteString(p)
+	}
+	b.WriteString("|preagg:")
+	b.WriteString(strconv.Itoa(int(o.PreAgg)))
+	if len(o.Known) > 0 {
+		names := make([]string, 0, len(o.Known))
+		for n := range o.Known {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			b.WriteString("|card:")
+			b.WriteString(n)
+			b.WriteByte('=')
+			b.WriteString(strconv.FormatFloat(o.Known[n], 'g', -1, 64))
+		}
+	}
+	return b.String()
+}
+
+// PlanCacheStats is a point-in-time snapshot of a PlanCache's counters.
+type PlanCacheStats struct {
+	Hits, Misses int64
+	Size         int
+}
+
+// PlanCache is a bounded LRU cache of initial optimized plans keyed on
+// query-shape fingerprints (Fingerprint). Repeated queries of the same
+// shape skip the initial optimizer call entirely: Lookup installs a hit
+// as Options.InitialPlan, or arms Options.OnInitialPlan to fill the cache
+// on a miss. Plans are immutable descriptions (lowering builds fresh
+// operators per phase), so one cached plan is safely shared by concurrent
+// runs. Safe for concurrent use.
+type PlanCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	hits    int64
+	misses  int64
+}
+
+type planEntry struct {
+	key  string
+	plan algebra.Plan
+}
+
+// DefaultPlanCacheSize is the entry bound used when NewPlanCache is given
+// a non-positive capacity.
+const DefaultPlanCacheSize = 128
+
+// NewPlanCache creates a plan cache bounded to capacity entries
+// (<= 0 uses DefaultPlanCacheSize).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheSize
+	}
+	return &PlanCache{
+		cap:     capacity,
+		entries: map[string]*list.Element{},
+		order:   list.New(),
+	}
+}
+
+// Get returns the cached plan for key, if any, and counts a hit or miss.
+func (c *PlanCache) Get(key string) (algebra.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*planEntry).plan, true
+}
+
+// Put inserts (or refreshes) a plan under key, evicting the least
+// recently used entry when the cache is full.
+func (c *PlanCache) Put(key string, p algebra.Plan) {
+	if p == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*planEntry).plan = p
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&planEntry{key: key, plan: p})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*planEntry).key)
+	}
+}
+
+// Lookup wires the cache into one run's options: a hit installs the
+// cached plan as o.InitialPlan (the optimizer is skipped), a miss arms
+// o.OnInitialPlan so the optimized plan lands in the cache. It returns
+// whether the lookup hit. Callers should only consult the cache for the
+// Static and Corrective strategies — PlanPartition ignores InitialPlan.
+func (c *PlanCache) Lookup(key string, o *core.Options) bool {
+	if p, ok := c.Get(key); ok {
+		o.InitialPlan = p
+		return true
+	}
+	o.OnInitialPlan = func(p algebra.Plan) { c.Put(key, p) }
+	return false
+}
+
+// Stats snapshots the cache's hit/miss counters and current size.
+func (c *PlanCache) Stats() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{Hits: c.hits, Misses: c.misses, Size: c.order.Len()}
+}

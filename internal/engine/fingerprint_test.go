@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/tukwila/adp/internal/algebra"
+	"github.com/tukwila/adp/internal/core"
+	"github.com/tukwila/adp/internal/opt"
+)
+
+// TestFingerprintCanonical pins what the query-shape key does and does
+// not depend on: execution-only options (strategy, partitions, polling)
+// must not split cache entries, while anything the optimizer sees
+// (query structure, pre-aggregation, known cardinalities) must.
+func TestFingerprintCanonical(t *testing.T) {
+	_, q := chainEngine(8)
+
+	base := Fingerprint(q, core.Options{})
+	if base == "" {
+		t.Fatal("empty fingerprint")
+	}
+	// Deterministic across calls.
+	if again := Fingerprint(q, core.Options{}); again != base {
+		t.Fatalf("fingerprint not stable:\n%s\n%s", base, again)
+	}
+	// Execution-shape options are excluded: a static serial run and a
+	// corrective partitioned run share the optimizer inputs.
+	same := []core.Options{
+		{Strategy: core.Static},
+		{Strategy: core.Corrective, Partitions: 4},
+		{PollEvery: 1, SwitchFactor: 9, MaxPhases: 2, PartialResults: true},
+	}
+	for _, o := range same {
+		if got := Fingerprint(q, o); got != base {
+			t.Errorf("options %+v changed the fingerprint", o)
+		}
+	}
+	// Optimizer inputs are included.
+	diff := map[string]core.Options{
+		"preagg": {PreAgg: opt.PreAggWindowed},
+		"cards":  {Known: map[string]float64{"R0": 123}},
+	}
+	for name, o := range diff {
+		if got := Fingerprint(q, o); got == base {
+			t.Errorf("%s: option should change the fingerprint", name)
+		}
+	}
+	// Known-cardinality maps fingerprint identically regardless of
+	// insertion order (map iteration is randomized).
+	oa := core.Options{Known: map[string]float64{"R0": 1, "R1": 2, "R2": 3}}
+	ob := core.Options{Known: map[string]float64{"R2": 3, "R1": 2, "R0": 1}}
+	if Fingerprint(q, oa) != Fingerprint(q, ob) {
+		t.Error("known-cardinality order changed the fingerprint")
+	}
+
+	// Structurally different queries differ.
+	_, q2 := spjEngine(16, nil)
+	if Fingerprint(q2, core.Options{}) == base {
+		t.Error("distinct queries share a fingerprint")
+	}
+	q3 := *q
+	q3.GroupBy = nil
+	q3.Aggs = nil
+	q3.Project = []string{"R0.a"}
+	if Fingerprint(&q3, core.Options{}) == base {
+		t.Error("projection change did not change the fingerprint")
+	}
+}
+
+// TestPlanCacheLRU pins the cache mechanics: hit/miss counting, LRU
+// refresh on access, and eviction of the least recently used entry.
+func TestPlanCacheLRU(t *testing.T) {
+	c := NewPlanCache(2)
+	plan := func(name string) algebra.Plan {
+		return &algebra.ScanPlan{Rel: algebra.RelRef{Name: name}}
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", plan("a"))
+	c.Put("b", plan("b"))
+	if _, ok := c.Get("a"); !ok { // refreshes a: b is now LRU
+		t.Fatal("miss on cached entry a")
+	}
+	c.Put("c", plan("c")) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("miss on cached entry c")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.Size != 2 {
+		t.Fatalf("stats = %+v, want 2 hits, 2 misses, size 2", st)
+	}
+}
+
+// TestPlanCacheHitEquivalence is the correctness contract of plan
+// caching: a run that adopts a cached initial plan (the optimizer
+// skipped entirely) must produce exactly the rows, schema, and phase
+// sequence of the run that optimized from scratch — for both the static
+// and corrective strategies.
+func TestPlanCacheHitEquivalence(t *testing.T) {
+	for _, strat := range []core.Strategy{core.Static, core.Corrective} {
+		t.Run(strat.String(), func(t *testing.T) {
+			e, q := chainEngine(64)
+			cache := NewPlanCache(4)
+			key := Fingerprint(q, core.Options{})
+
+			cold := core.Options{Strategy: strat, PollEvery: 16}
+			if hit := cache.Lookup(key, &cold); hit {
+				t.Fatal("hit on empty cache")
+			}
+			coldRep, err := e.Execute(q, cold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := cache.Get(key); !ok {
+				t.Fatal("OnInitialPlan did not fill the cache")
+			}
+
+			warm := core.Options{Strategy: strat, PollEvery: 16}
+			if hit := cache.Lookup(key, &warm); !hit {
+				t.Fatal("expected cache hit")
+			}
+			warmRep, err := e.Execute(q, warm)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(coldRep.Rows, warmRep.Rows) {
+				t.Fatalf("cache-hit run rows differ from cold run (%d vs %d rows)",
+					len(warmRep.Rows), len(coldRep.Rows))
+			}
+			if coldRep.Schema.String() != warmRep.Schema.String() {
+				t.Fatal("cache-hit run schema differs")
+			}
+			if len(coldRep.Phases) != len(warmRep.Phases) {
+				t.Fatalf("phase count differs: %d vs %d", len(coldRep.Phases), len(warmRep.Phases))
+			}
+			for i := range coldRep.Phases {
+				if coldRep.Phases[i].Plan != warmRep.Phases[i].Plan {
+					t.Fatalf("phase %d plan differs:\n%s\n%s",
+						i, coldRep.Phases[i].Plan, warmRep.Phases[i].Plan)
+				}
+			}
+			if coldRep.VirtualSeconds != warmRep.VirtualSeconds {
+				t.Fatalf("virtual time differs: %g vs %g",
+					coldRep.VirtualSeconds, warmRep.VirtualSeconds)
+			}
+		})
+	}
+}

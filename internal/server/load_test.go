@@ -1,0 +1,269 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tukwila/adp/internal/core"
+	"github.com/tukwila/adp/internal/engine"
+)
+
+// TestConcurrentStreamingLoad is the PR acceptance load test: hundreds
+// of concurrent streaming queries — mixed strategies and partition
+// widths — through the admission controller under the race detector,
+// every one completing with its full result and terminal report, and
+// zero goroutines leaked once the server is torn down.
+func TestConcurrentStreamingLoad(t *testing.T) {
+	const (
+		clients = 240
+		rows    = 1_500
+	)
+	base := runtime.NumGoroutine()
+
+	eng, q := spjEngine(rows)
+	svc := New(eng, Config{
+		MaxConcurrent: 16,
+		QueueDepth:    clients, // admit everyone; saturation shedding has its own test
+		QueueTimeout:  time.Minute,
+	})
+	svc.RegisterPrepared("spj", q)
+	ts := httptest.NewServer(svc)
+
+	strategies := []string{"static", "corrective", "planpart"}
+	widths := []int{1, 2, 4}
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := spjRequest(fmt.Sprintf(`{"strategy":%q,"partitions":%d}`,
+				strategies[i%len(strategies)], widths[i%len(widths)]))
+			resp, err := ts.Client().Post(ts.URL+"/v1/query", "application/json", bytes.NewReader([]byte(body)))
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %w", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != 200 {
+				errs <- fmt.Errorf("client %d: status %d", i, resp.StatusCode)
+				return
+			}
+			seen, sawReport := 0, false
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+			for sc.Scan() {
+				switch frameType(sc.Text()) {
+				case "row":
+					seen++
+				case "report":
+					sawReport = true
+				case "error":
+					errs <- fmt.Errorf("client %d: error frame %.120s", i, sc.Text())
+					return
+				}
+			}
+			if err := sc.Err(); err != nil {
+				errs <- fmt.Errorf("client %d: %w", i, err)
+				return
+			}
+			if seen != rows || !sawReport {
+				errs <- fmt.Errorf("client %d: %d rows (want %d), report=%v", i, seen, rows, sawReport)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := svc.met.queriesTotal.Load(); got != clients {
+		t.Errorf("adp_queries_total = %d, want %d", got, clients)
+	}
+	if got := svc.met.rowsDelivered.Load(); got != int64(clients)*rows {
+		t.Errorf("adp_rows_delivered_total = %d, want %d", got, clients*rows)
+	}
+
+	// Teardown must return the process to its goroutine baseline: no
+	// leaked handlers, cursors, exchange workers, or event forwarders.
+	ts.Close()
+	waitForGoroutines(t, base)
+}
+
+// TestWireRowsMatchDirectStream is the wire-fidelity acceptance test:
+// for Static and Corrective at partition widths 1 and 4, the row frames
+// served over HTTP must be byte-identical to encoding the same query's
+// direct Engine.Stream cursor — the transport adds nothing and loses
+// nothing, in content or in order.
+func TestWireRowsMatchDirectStream(t *testing.T) {
+	_, ts, eng, q := newTestServer(t, 3_000, Config{})
+	for _, strat := range []core.Strategy{core.Static, core.Corrective} {
+		for _, width := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s-p%d", strat, width), func(t *testing.T) {
+				// Direct: consume the cursor in-process with the same
+				// options the server builds, encoding with the server's
+				// own row encoder.
+				st, err := eng.Stream(context.Background(),
+					q, engine.WithOptions(core.Options{Strategy: strat, Partitions: width}))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer st.Close()
+				var direct []byte
+				for {
+					tup, ok := st.Next()
+					if !ok {
+						break
+					}
+					direct = AppendRowFrame(direct, tup)
+				}
+				if err := st.Err(); err != nil {
+					t.Fatal(err)
+				}
+
+				// Wire: the same query over HTTP.
+				name := "static"
+				if strat == core.Corrective {
+					name = "corrective"
+				}
+				resp := postQuery(t, ts, spjRequest(
+					fmt.Sprintf(`{"strategy":%q,"partitions":%d}`, name, width)))
+				defer resp.Body.Close()
+				var wire []byte
+				sc := bufio.NewScanner(resp.Body)
+				sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+				for sc.Scan() {
+					if frameType(sc.Text()) == "row" {
+						wire = append(wire, sc.Bytes()...)
+						wire = append(wire, '\n')
+					}
+				}
+				if err := sc.Err(); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(direct, wire) {
+					t.Fatalf("wire rows diverge from direct stream (%d vs %d bytes)",
+						len(wire), len(direct))
+				}
+			})
+		}
+	}
+}
+
+// TestConcurrentEventSubscribers attaches SSE consumers to queries while
+// they stream and checks both sides complete — and that the disconnect
+// path (subscriber gone before the run ends) leaks nothing.
+func TestConcurrentEventSubscribers(t *testing.T) {
+	base := runtime.NumGoroutine()
+	eng, q := spjEngine(2_000)
+	svc := New(eng, Config{MaxConcurrent: 8})
+	svc.RegisterPrepared("spj", q)
+	ts := httptest.NewServer(svc)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := ts.Client().Post(ts.URL+"/v1/query", "application/json",
+				bytes.NewReader([]byte(spjRequest(`{"strategy":"corrective"}`))))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			id := resp.Header.Get("Adp-Query-Id")
+
+			// Subscribe while (possibly still) running; half the
+			// subscribers abandon the feed immediately.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ev, err := ts.Client().Get(ts.URL + "/v1/query/" + id + "/events")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if i%2 == 0 {
+					ev.Body.Close() // disconnect mid-feed
+					return
+				}
+				defer ev.Body.Close()
+				sc := bufio.NewScanner(ev.Body)
+				events := 0
+				for sc.Scan() {
+					if bytes.HasPrefix(sc.Bytes(), []byte("event: ")) {
+						events++
+					}
+				}
+				if events == 0 {
+					t.Errorf("query %s: no events", id)
+				}
+			}()
+
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+			last := ""
+			for sc.Scan() {
+				last = frameType(sc.Text())
+			}
+			if last != "report" {
+				t.Errorf("query %s ended with %q, want report", id, last)
+			}
+		}(i)
+	}
+	wg.Wait()
+	ts.Close()
+	waitForGoroutines(t, base)
+}
+
+// TestRegistryRetention pins the completed-query retention window: old
+// event logs age out of /v1/query/{id}/events once the window overflows.
+func TestRegistryRetention(t *testing.T) {
+	_, ts, _, _ := newTestServer(t, 50, Config{RetainQueries: 2})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		resp := postQuery(t, ts, spjRequest(`{}`))
+		ids = append(ids, resp.Header.Get("Adp-Query-Id"))
+		frames(t, resp.Body)
+		resp.Body.Close()
+	}
+	for i, wantStatus := range []int{404, 200, 200} {
+		resp, err := ts.Client().Get(ts.URL + "/v1/query/" + ids[i] + "/events")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("query %s (run %d): events status %d, want %d",
+				ids[i], i, resp.StatusCode, wantStatus)
+		}
+	}
+}
+
+// waitForGoroutines asserts the goroutine count returns to the baseline
+// within a bounded window (the engine's leak-check idiom).
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d goroutines, baseline %d\n%s",
+				runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

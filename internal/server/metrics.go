@@ -1,0 +1,57 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// metrics is the server's counter set, exposed at /metrics in Prometheus
+// text exposition format (also consumable as plain text). Counters are
+// monotonic over the server's lifetime; gauges read current state. The
+// field glossary lives in docs/operations.md.
+type metrics struct {
+	queriesTotal        atomic.Int64 // adp_queries_total
+	queriesFailed       atomic.Int64 // adp_queries_failed_total (terminal error frames)
+	queriesRejected     atomic.Int64 // adp_admission_rejected_total (429/503 at admission)
+	rowsDelivered       atomic.Int64 // adp_rows_delivered_total (row frames written)
+	planSwitches        atomic.Int64 // adp_plan_switches_total
+	sourceFaults        atomic.Int64 // adp_source_faults_total (faulting sources seen)
+	partialResults      atomic.Int64 // adp_partial_results_total
+	planCacheHits       atomic.Int64 // adp_plan_cache_hits_total
+	planCacheMisses     atomic.Int64 // adp_plan_cache_misses_total
+	deadlinesExceeded   atomic.Int64 // adp_deadline_exceeded_total
+	budgetRowsExhausted atomic.Int64 // adp_row_budget_exhausted_total
+}
+
+// metricPoint is one rendered sample.
+type metricPoint struct {
+	name  string
+	help  string
+	typ   string // counter | gauge
+	value int64
+}
+
+// write renders the exposition text. Gauges for in-flight/queued/draining
+// are passed in by the server, which owns that state.
+func (m *metrics) write(w io.Writer, gauges []metricPoint) {
+	points := []metricPoint{
+		{"adp_queries_total", "Queries admitted for execution.", "counter", m.queriesTotal.Load()},
+		{"adp_queries_failed_total", "Queries that ended with a terminal error frame.", "counter", m.queriesFailed.Load()},
+		{"adp_admission_rejected_total", "Queries rejected at admission (queue full, queue timeout, or draining).", "counter", m.queriesRejected.Load()},
+		{"adp_rows_delivered_total", "Result rows written to the wire as row frames.", "counter", m.rowsDelivered.Load()},
+		{"adp_plan_switches_total", "Corrective plan switches across all queries.", "counter", m.planSwitches.Load()},
+		{"adp_source_faults_total", "Sources that reported fault/recovery activity.", "counter", m.sourceFaults.Load()},
+		{"adp_partial_results_total", "Queries that degraded to partial results.", "counter", m.partialResults.Load()},
+		{"adp_plan_cache_hits_total", "Queries whose initial plan came from the plan cache.", "counter", m.planCacheHits.Load()},
+		{"adp_plan_cache_misses_total", "Queries that ran the optimizer and filled the plan cache.", "counter", m.planCacheMisses.Load()},
+		{"adp_deadline_exceeded_total", "Queries terminated by their execution deadline.", "counter", m.deadlinesExceeded.Load()},
+		{"adp_row_budget_exhausted_total", "Queries terminated by the per-query row budget.", "counter", m.budgetRowsExhausted.Load()},
+	}
+	points = append(points, gauges...)
+	sort.Slice(points, func(i, j int) bool { return points[i].name < points[j].name })
+	for _, p := range points {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", p.name, p.help, p.name, p.typ, p.name, p.value)
+	}
+}

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Admission outcomes.
+var (
+	// errQueueFull rejects a query when every execution slot is busy and
+	// the admission queue is at capacity (HTTP 429).
+	errQueueFull = errors.New("server: admission queue full")
+	// errQueueTimeout rejects a query that waited in the admission queue
+	// longer than the configured bound (HTTP 503).
+	errQueueTimeout = errors.New("server: timed out waiting for an execution slot")
+)
+
+// scheduler is the concurrent-query admission controller: a fixed pool
+// of execution slots fronted by a bounded wait queue. A query acquires a
+// slot before execution starts and releases it when its stream is done;
+// when all slots are busy, up to queueDepth queries wait (bounded by
+// queueTimeout and the request context), and everything beyond that is
+// rejected immediately — saturation sheds load instead of stacking
+// goroutines.
+type scheduler struct {
+	slots        chan struct{}
+	queueDepth   int64
+	queueTimeout time.Duration
+
+	queued   atomic.Int64
+	inflight atomic.Int64
+}
+
+func newScheduler(maxConcurrent, queueDepth int, queueTimeout time.Duration) *scheduler {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 1
+	}
+	s := &scheduler{
+		slots:        make(chan struct{}, maxConcurrent),
+		queueDepth:   int64(queueDepth),
+		queueTimeout: queueTimeout,
+	}
+	for i := 0; i < maxConcurrent; i++ {
+		s.slots <- struct{}{}
+	}
+	return s
+}
+
+// acquire claims an execution slot, waiting in the bounded queue if
+// necessary. It returns errQueueFull when the queue is at capacity,
+// errQueueTimeout when the wait exceeds the queue timeout, or the
+// context error when the caller gave up.
+func (s *scheduler) acquire(ctx context.Context) error {
+	select {
+	case <-s.slots:
+		s.inflight.Add(1)
+		return nil
+	default:
+	}
+	if s.queued.Add(1) > s.queueDepth {
+		s.queued.Add(-1)
+		return errQueueFull
+	}
+	defer s.queued.Add(-1)
+	timer := time.NewTimer(s.queueTimeout)
+	defer timer.Stop()
+	select {
+	case <-s.slots:
+		s.inflight.Add(1)
+		return nil
+	case <-timer.C:
+		return errQueueTimeout
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot to the pool.
+func (s *scheduler) release() {
+	s.inflight.Add(-1)
+	s.slots <- struct{}{}
+}
+
+// Inflight and Queued report the gauges for /metrics.
+func (s *scheduler) Inflight() int64 { return s.inflight.Load() }
+func (s *scheduler) Queued() int64   { return s.queued.Load() }
+
+// drainWait blocks until no queries are executing or queued, or ctx
+// expires. The caller must already have stopped admission.
+func (s *scheduler) drainWait(ctx context.Context) error {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.inflight.Load() == 0 && s.queued.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}

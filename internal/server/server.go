@@ -1,0 +1,551 @@
+// Package server exposes the adaptive query engine as a network service:
+// an HTTP server streaming Engine.Stream over the wire. POST /v1/query
+// streams result rows as NDJSON frames with a trailing report (or error)
+// frame, GET /v1/query/{id}/events forwards the run's adaptive-execution
+// events as server-sent events, and /healthz + /metrics serve operations.
+//
+// Production plumbing lives here too: an admission controller with a
+// bounded wait queue (scheduler.go), per-query partition/deadline/row
+// budgets, a plan cache keyed on query-shape fingerprints so repeated
+// queries skip the optimizer, and graceful drain — stop admitting, let
+// in-flight cursors finish, bounded by a drain timeout.
+//
+// The wire protocol is documented in docs/wire-protocol.md and the
+// operational surface in docs/operations.md; cmd/adpserve is the
+// deployable binary over the TPC-H workload.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tukwila/adp/internal/algebra"
+	"github.com/tukwila/adp/internal/core"
+	"github.com/tukwila/adp/internal/engine"
+	"github.com/tukwila/adp/internal/source"
+)
+
+// Config tunes the query service. Zero values take the documented
+// defaults (docs/operations.md has the full tuning guide).
+type Config struct {
+	// MaxConcurrent is the number of queries executing at once
+	// (default 8). Everything above it waits in the admission queue.
+	MaxConcurrent int
+	// QueueDepth bounds the admission queue (default 32); queries
+	// arriving beyond it are rejected with HTTP 429.
+	QueueDepth int
+	// QueueTimeout bounds how long an admitted-but-waiting query may
+	// queue before being rejected with HTTP 503 (default 5s).
+	QueueTimeout time.Duration
+	// DefaultDeadline bounds a query's execution wall-clock time when
+	// the request does not set deadline_ms (default 30s).
+	DefaultDeadline time.Duration
+	// MaxDeadline caps request-supplied deadlines (0 = uncapped).
+	MaxDeadline time.Duration
+	// MaxPartitions is the per-query partition budget: requests asking
+	// for more are clamped (default 8).
+	MaxPartitions int
+	// MaxRowsPerQuery is the per-query result-row budget — the memory
+	// and bandwidth bound of one stream. A query exceeding it is
+	// terminated with a resource_exhausted error frame (0 = unlimited).
+	MaxRowsPerQuery int64
+	// DrainTimeout bounds graceful drain (default 10s); Shutdown uses
+	// it when the caller's context carries no deadline.
+	DrainTimeout time.Duration
+	// PlanCacheSize bounds the plan cache (entries): 0 uses the engine
+	// default, negative disables plan caching.
+	PlanCacheSize int
+	// RetainQueries is how many completed queries keep their event logs
+	// available to /v1/query/{id}/events (default 64).
+	RetainQueries int
+	// SourcePolicies, when set, is the fault-recovery policy table
+	// (relation → retry/backoff/failover) applied to every query. The
+	// wire protocol intentionally does not let clients pick policies;
+	// fault handling is an operator decision (docs/operations.md).
+	SourcePolicies map[string]source.RetryPolicy
+}
+
+func (c *Config) defaults() {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	} else if c.QueueDepth == 0 {
+		c.QueueDepth = 32
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 5 * time.Second
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxPartitions <= 0 {
+		c.MaxPartitions = 8
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.RetainQueries <= 0 {
+		c.RetainQueries = 64
+	}
+}
+
+// Server is the adaptive query service over one engine. Create with New,
+// mount as an http.Handler, and call Shutdown (or Drain) on SIGTERM.
+// Safe for concurrent use; the engine's catalog must not be mutated
+// while the server is running (every query opens fresh providers).
+type Server struct {
+	eng      *engine.Engine
+	cfg      Config
+	prepared map[string]*algebra.Query
+	sched    *scheduler
+	met      *metrics
+	cache    *engine.PlanCache
+	mux      *http.ServeMux
+	reg      *queryRegistry
+	draining atomic.Bool
+	idSeq    atomic.Int64
+}
+
+// New creates a query service over eng.
+func New(eng *engine.Engine, cfg Config) *Server {
+	cfg.defaults()
+	s := &Server{
+		eng:      eng,
+		cfg:      cfg,
+		prepared: map[string]*algebra.Query{},
+		sched:    newScheduler(cfg.MaxConcurrent, cfg.QueueDepth, cfg.QueueTimeout),
+		met:      &metrics{},
+		mux:      http.NewServeMux(),
+		reg:      newQueryRegistry(cfg.RetainQueries),
+	}
+	if cfg.PlanCacheSize >= 0 {
+		s.cache = engine.NewPlanCache(cfg.PlanCacheSize)
+	}
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/query/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// RegisterPrepared registers a named query invocable over the wire as
+// {"query":{"prepared":"<name>"}}. Not safe to call once serving.
+func (s *Server) RegisterPrepared(name string, q *algebra.Query) {
+	s.prepared[name] = q
+}
+
+func (s *Server) preparedNames() []string {
+	out := make([]string, 0, len(s.prepared))
+	for n := range s.prepared {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Draining reports whether the server has stopped admitting queries.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain stops admitting new queries and blocks until every in-flight
+// query has finished streaming, or ctx expires — in-flight cursors are
+// never cut off by Drain itself, so a drained server has lost zero rows.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.sched.drainWait(ctx)
+}
+
+// Shutdown is Drain bounded by Config.DrainTimeout when ctx has no
+// deadline of its own — the SIGTERM entry point.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.DrainTimeout)
+		defer cancel()
+	}
+	return s.Drain(ctx)
+}
+
+// PlanCacheStats exposes the plan cache counters (zero when disabled).
+func (s *Server) PlanCacheStats() engine.PlanCacheStats {
+	if s.cache == nil {
+		return engine.PlanCacheStats{}
+	}
+	return s.cache.Stats()
+}
+
+// ---- Handlers ------------------------------------------------------------
+
+// maxRequestBytes bounds a query-request body.
+const maxRequestBytes = 1 << 20
+
+// rowFlushBytes is the buffered-row threshold at which the stream is
+// written and flushed to the client mid-run.
+const rowFlushBytes = 8 << 10
+
+// handleQuery runs POST /v1/query: admission, execution, NDJSON stream.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.met.queriesRejected.Add(1)
+		s.reject(w, WireError{Code: CodeDraining, HTTPStatus: http.StatusServiceUnavailable,
+			Message: "server is draining; not admitting new queries"})
+		return
+	}
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.reject(w, WireError{Code: CodeInvalidRequest, HTTPStatus: http.StatusBadRequest,
+			Message: "bad request body: " + err.Error()})
+		return
+	}
+	q, err := s.buildQuery(req.Query)
+	if err != nil {
+		s.reject(w, WireError{Code: CodeInvalidRequest, HTTPStatus: http.StatusBadRequest,
+			Message: err.Error()})
+		return
+	}
+	o, err := s.buildOptions(req.Options)
+	if err != nil {
+		s.reject(w, WireError{Code: CodeInvalidRequest, HTTPStatus: http.StatusBadRequest,
+			Message: err.Error()})
+		return
+	}
+	deadline := time.Duration(req.Options.DeadlineMillis) * time.Millisecond
+	if deadline <= 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+	if s.cfg.MaxDeadline > 0 && deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+
+	// Admission: claim an execution slot or shed load.
+	if err := s.sched.acquire(r.Context()); err != nil {
+		s.met.queriesRejected.Add(1)
+		switch {
+		case errors.Is(err, errQueueFull):
+			s.reject(w, WireError{Code: CodeAdmissionRejected, HTTPStatus: http.StatusTooManyRequests,
+				Message: "execution slots busy and admission queue full"})
+		case errors.Is(err, errQueueTimeout):
+			s.reject(w, WireError{Code: CodeQueueTimeout, HTTPStatus: http.StatusServiceUnavailable,
+				Message: "timed out waiting for an execution slot"})
+		default: // client went away while queued
+			s.reject(w, WireError{Code: CodeCanceled, HTTPStatus: 499, Message: err.Error()})
+		}
+		return
+	}
+	defer s.sched.release()
+	s.met.queriesTotal.Add(1)
+
+	// Plan cache: same query shape, same initial plan, optimizer skipped.
+	// PlanPartition re-optimizes mid-run by design and bypasses the cache.
+	planCache := ""
+	if s.cache != nil && o.Strategy != core.PlanPartition {
+		if s.cache.Lookup(engine.Fingerprint(q, o), &o) {
+			planCache = "hit"
+			s.met.planCacheHits.Add(1)
+		} else {
+			planCache = "miss"
+			s.met.planCacheMisses.Add(1)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+	st, err := s.eng.Stream(ctx, q, engine.WithOptions(o))
+	if err != nil {
+		s.reject(w, WireError{Code: CodeInvalidRequest, HTTPStatus: http.StatusBadRequest,
+			Message: err.Error()})
+		return
+	}
+	// The stream is torn down explicitly on early exits; a fully drained
+	// cursor has no goroutines left and skipping Close there keeps live
+	// event subscriptions (SSE) from being truncated at the tail.
+	closeStream := true
+	defer func() {
+		if closeStream {
+			st.Close()
+		}
+	}()
+
+	id := fmt.Sprintf("q-%d", s.idSeq.Add(1))
+	rec := s.reg.add(id, q.Name, st)
+	defer s.reg.markDone(rec)
+
+	// Schema blocks until the run announces output columns — or, if the
+	// run died first (validation passed but execution failed at once),
+	// returns nil with the stream already finished: those failures still
+	// get a real HTTP error status.
+	schema := st.Schema()
+	if schema == nil {
+		for {
+			if _, ok := st.Next(); !ok {
+				break
+			}
+		}
+		err := st.Err()
+		if err == nil {
+			err = errors.New("query produced no schema")
+		}
+		s.met.queriesFailed.Add(1)
+		s.countTerminal(err)
+		s.reject(w, mapError(err, 0))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Adp-Query-Id", id)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	writeFrame := func(v any) {
+		b, merr := json.Marshal(v)
+		if merr != nil {
+			return
+		}
+		w.Write(append(b, '\n'))
+		flush()
+	}
+
+	writeFrame(schemaFrame{Type: "schema", ID: id, Query: q.Name, Columns: wireSchema(schema)})
+
+	// Row streaming: rows encode into a reused buffer (AppendRowFrame is
+	// allocation-free) and flush to the client every rowFlushBytes.
+	var (
+		rows   int64
+		buf    = make([]byte, 0, 2*rowFlushBytes)
+		budget = s.cfg.MaxRowsPerQuery
+		over   bool
+	)
+	for {
+		t, ok := st.Next()
+		if !ok {
+			break
+		}
+		buf = AppendRowFrame(buf, t)
+		rows++
+		if len(buf) >= rowFlushBytes {
+			w.Write(buf)
+			flush()
+			buf = buf[:0]
+		}
+		if budget > 0 && rows >= budget {
+			over = true
+			break
+		}
+	}
+	if len(buf) > 0 {
+		w.Write(buf)
+	}
+	s.met.rowsDelivered.Add(rows)
+
+	if over {
+		st.Close() // cancel the run; remaining rows are discarded
+		closeStream = false
+		s.met.budgetRowsExhausted.Add(1)
+		s.met.queriesFailed.Add(1)
+		writeFrame(errorFrame{Type: "error", Error: WireError{
+			Code: CodeResourceExhausted, HTTPStatus: http.StatusTooManyRequests,
+			Message:       fmt.Sprintf("query exceeded the per-query row budget (%d rows)", budget),
+			RowsDelivered: rows,
+		}})
+		return
+	}
+	closeStream = false // cursor fully drained: no goroutines remain
+	if err := st.Err(); err != nil {
+		s.met.queriesFailed.Add(1)
+		s.countTerminal(err)
+		writeFrame(errorFrame{Type: "error", Error: mapError(err, rows)})
+		return
+	}
+	rep, _ := st.Report()
+	s.met.planSwitches.Add(int64(rep.Switches))
+	s.met.sourceFaults.Add(int64(len(rep.SourceFaults)))
+	if rep.Partial {
+		s.met.partialResults.Add(1)
+	}
+	writeFrame(reportFrame{Type: "report", Report: wireReport(rep, planCache)})
+}
+
+// countTerminal bumps the per-cause failure counters.
+func (s *Server) countTerminal(err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.met.deadlinesExceeded.Add(1)
+	}
+}
+
+// handleEvents serves GET /v1/query/{id}/events as server-sent events:
+// the run's full event log replays from the start (subscriptions never
+// miss the narrative), then follows the live run until it finishes.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		s.reject(w, WireError{Code: CodeNotFound, HTTPStatus: http.StatusNotFound,
+			Message: "unknown query id (completed queries are retained for a bounded window)"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	flusher, _ := w.(http.Flusher)
+	ch := rec.events()
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			name, data := eventWire(ev)
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			// The client is gone; drain the subscription so the stream's
+			// forwarder goroutine (which blocks on delivery) can exit.
+			go func() {
+				for range ch {
+				}
+			}()
+			return
+		}
+	}
+}
+
+// handleHealthz reports liveness; a draining server answers 503 so load
+// balancers stop routing to it while in-flight queries finish.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"status":"draining"}` + "\n"))
+		return
+	}
+	w.Write([]byte(`{"status":"ok"}` + "\n"))
+}
+
+// handleMetrics serves the counter set in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var draining int64
+	if s.draining.Load() {
+		draining = 1
+	}
+	var cacheSize int64
+	if s.cache != nil {
+		cacheSize = int64(s.cache.Stats().Size)
+	}
+	s.met.write(w, []metricPoint{
+		{"adp_queries_inflight", "Queries currently executing.", "gauge", s.sched.Inflight()},
+		{"adp_queries_queued", "Queries waiting in the admission queue.", "gauge", s.sched.Queued()},
+		{"adp_draining", "1 while the server drains (not admitting).", "gauge", draining},
+		{"adp_plan_cache_size", "Plans currently cached.", "gauge", cacheSize},
+	})
+}
+
+// reject writes a non-2xx error envelope.
+func (s *Server) reject(w http.ResponseWriter, we WireError) {
+	w.Header().Set("Content-Type", "application/json")
+	status := we.HTTPStatus
+	if status == 0 {
+		status = http.StatusInternalServerError
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: we})
+}
+
+// ---- Query registry ------------------------------------------------------
+
+// queryRegistry tracks queries by id for the events endpoint: live
+// queries expose their stream's replayable subscription; completed ones
+// keep an event-log snapshot (bounded to the retain window) after the
+// stream — and its report memory — is dropped.
+type queryRegistry struct {
+	mu     sync.Mutex
+	byID   map[string]*queryRecord
+	doneQ  []string // completed ids, oldest first
+	retain int
+}
+
+type queryRecord struct {
+	id    string
+	query string
+
+	mu     sync.Mutex
+	stream *engine.Stream // nil once done
+	log    []core.Event   // snapshot once done
+}
+
+func newQueryRegistry(retain int) *queryRegistry {
+	return &queryRegistry{byID: map[string]*queryRecord{}, retain: retain}
+}
+
+func (r *queryRegistry) add(id, query string, st *engine.Stream) *queryRecord {
+	rec := &queryRecord{id: id, query: query, stream: st}
+	r.mu.Lock()
+	r.byID[id] = rec
+	r.mu.Unlock()
+	return rec
+}
+
+// markDone snapshots the finished stream's event log, releases the
+// stream (and the result rows its report retains), and evicts the oldest
+// completed records beyond the retain window.
+func (r *queryRegistry) markDone(rec *queryRecord) {
+	rec.mu.Lock()
+	if st := rec.stream; st != nil {
+		var log []core.Event
+		for ev := range st.Events() { // finished log: a closed snapshot channel
+			log = append(log, ev)
+		}
+		rec.log = log
+		rec.stream = nil
+	}
+	rec.mu.Unlock()
+
+	r.mu.Lock()
+	r.doneQ = append(r.doneQ, rec.id)
+	for len(r.doneQ) > r.retain {
+		delete(r.byID, r.doneQ[0])
+		r.doneQ = r.doneQ[1:]
+	}
+	r.mu.Unlock()
+}
+
+func (r *queryRegistry) get(id string) (*queryRecord, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.byID[id]
+	return rec, ok
+}
+
+// events returns a replay-from-start subscription: the live stream's
+// Events channel while running, a preloaded snapshot once done.
+func (rec *queryRecord) events() <-chan core.Event {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.stream != nil {
+		return rec.stream.Events()
+	}
+	ch := make(chan core.Event, len(rec.log))
+	for _, ev := range rec.log {
+		ch <- ev
+	}
+	close(ch)
+	return ch
+}

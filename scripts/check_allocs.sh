@@ -45,6 +45,7 @@ check 'BenchmarkAggTableAbsorb'              1  # group-by absorb: zero steady-s
 check 'BenchmarkExchangePartition'           2  # PR 4: exchange scatter, steady-state <= 2 per batch
 check 'BenchmarkStreamDelivery'              2  # PR 5: cursor Next() per row, whole pipeline on the count
 check 'BenchmarkFaultyNext'                  1  # PR 6: fault wrapper no-fault fast path (1 = Reset headroom)
+check 'BenchmarkRowEncode'                   0  # PR 7: per-row NDJSON encode into a reused buffer
 
 if [ "$fail" -ne 0 ]; then
   echo "check-allocs: allocation budgets regressed" >&2

@@ -1,0 +1,261 @@
+// Command servesmoke is the `make serve-smoke` driver: it boots a built
+// adpserve binary on a random port, runs the full black-box happy path —
+// /healthz, a streamed NDJSON query checked frame by frame, the SSE
+// events replay, /metrics — then sends SIGTERM and asserts the server
+// drains and exits cleanly. It exercises the deployable artifact, not
+// the library: a regression in flag parsing, listener bring-up, or
+// signal handling fails here even when every unit test passes.
+//
+// Usage: go run ./scripts/servesmoke -bin bin/adpserve
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	bin := flag.String("bin", "bin/adpserve", "path to the built adpserve binary")
+	flag.Parse()
+	if err := run(*bin); err != nil {
+		fmt.Fprintln(os.Stderr, "servesmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("servesmoke: ok")
+}
+
+func run(bin string) error {
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-sf", "0.003", "-max-concurrent", "4")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start %s: %w", bin, err)
+	}
+	defer cmd.Process.Kill() // no-op if the graceful exit below succeeded
+
+	// The binary prints its bound address once the listener is up.
+	addrCh := make(chan string, 1)
+	logLines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "adpserve: listening on "); ok {
+				addrCh <- rest
+			}
+			select {
+			case logLines <- line:
+			default:
+			}
+		}
+		close(logLines)
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("server did not announce its listen address within 30s")
+	}
+
+	if err := checkHealthz(base); err != nil {
+		return err
+	}
+	if err := checkQueryStream(base); err != nil {
+		return err
+	}
+	if err := checkEvents(base); err != nil {
+		return err
+	}
+	if err := checkMetrics(base); err != nil {
+		return err
+	}
+
+	// Graceful shutdown: SIGTERM must drain and exit 0. Read the log
+	// scanner to EOF *before* calling Wait — Wait closes the stdout pipe
+	// when the process exits, and calling it while the scanner is
+	// mid-read races the final log lines away.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	drained := false
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		for line := range logLines {
+			if strings.Contains(line, "drained") {
+				drained = true
+			}
+		}
+	}()
+	select {
+	case <-scanDone:
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("server did not exit within 30s of SIGTERM")
+	}
+	if err := cmd.Wait(); err != nil {
+		return fmt.Errorf("server exited non-zero after SIGTERM: %w", err)
+	}
+	if !drained {
+		return fmt.Errorf("server exited without logging a completed drain")
+	}
+	return nil
+}
+
+func checkHealthz(base string) error {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	if body.Status != "ok" {
+		return fmt.Errorf("healthz: status %q, want ok", body.Status)
+	}
+	return nil
+}
+
+// checkQueryStream streams a prepared corrective query and validates the
+// NDJSON framing: exactly one schema frame first, row frames with the
+// schema's arity, one terminal report frame, nothing after it.
+func checkQueryStream(base string) error {
+	resp, err := http.Post(base+"/v1/query", "application/json", strings.NewReader(
+		`{"query":{"prepared":"Q3A"},"options":{"strategy":"corrective","partitions":2}}`))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("query: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		return fmt.Errorf("query: content-type %q", ct)
+	}
+	if resp.Header.Get("Adp-Query-Id") == "" {
+		return fmt.Errorf("query: missing Adp-Query-Id header")
+	}
+	var (
+		arity, rows int
+		sawSchema   bool
+		sawReport   bool
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if sawReport {
+			return fmt.Errorf("query: frame after the terminal report frame: %.80s", sc.Text())
+		}
+		var frame struct {
+			Type    string            `json:"type"`
+			Columns []json.RawMessage `json:"columns"`
+			Values  []json.RawMessage `json:"values"`
+			Report  *struct {
+				Rows      int    `json:"rows"`
+				PlanCache string `json:"plan_cache"`
+			} `json:"report"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &frame); err != nil {
+			return fmt.Errorf("query: bad frame %.80s: %w", sc.Text(), err)
+		}
+		switch frame.Type {
+		case "schema":
+			if sawSchema {
+				return fmt.Errorf("query: duplicate schema frame")
+			}
+			sawSchema = true
+			arity = len(frame.Columns)
+		case "row":
+			if !sawSchema {
+				return fmt.Errorf("query: row frame before schema frame")
+			}
+			if len(frame.Values) != arity {
+				return fmt.Errorf("query: row arity %d, schema arity %d", len(frame.Values), arity)
+			}
+			rows++
+		case "report":
+			sawReport = true
+			if frame.Report == nil || frame.Report.Rows != rows {
+				return fmt.Errorf("query: report rows mismatch (streamed %d)", rows)
+			}
+			if frame.Report.PlanCache != "miss" {
+				return fmt.Errorf("query: first run plan_cache = %q, want miss", frame.Report.PlanCache)
+			}
+		default:
+			return fmt.Errorf("query: unexpected frame type %q", frame.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawSchema || !sawReport || rows == 0 {
+		return fmt.Errorf("query: incomplete stream (schema=%v rows=%d report=%v)", sawSchema, rows, sawReport)
+	}
+	fmt.Printf("servesmoke: streamed %d rows\n", rows)
+	return nil
+}
+
+func checkEvents(base string) error {
+	resp, err := http.Get(base + "/v1/query/q-1/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("events: status %d", resp.StatusCode)
+	}
+	events := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "event: ") {
+			events++
+		}
+	}
+	if events == 0 {
+		return fmt.Errorf("events: no SSE events replayed")
+	}
+	fmt.Printf("servesmoke: replayed %d events\n", events)
+	return nil
+}
+
+func checkMetrics(base string) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics: status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	want := map[string]bool{"adp_queries_total 1": false, "adp_queries_inflight 0": false}
+	for sc.Scan() {
+		if _, ok := want[sc.Text()]; ok {
+			want[sc.Text()] = true
+		}
+	}
+	for line, seen := range want {
+		if !seen {
+			return fmt.Errorf("metrics: missing %q", line)
+		}
+	}
+	return nil
+}
