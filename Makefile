@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test bench bench-perf check-fmt check-allocs fuzz-short examples chaos serve-smoke ci
+.PHONY: all vet lint build test bench bench-perf check-fmt check-allocs fuzz-short examples chaos serve-smoke ci
 
 all: ci
 
@@ -19,6 +19,15 @@ check-fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis: builds the adplint vettool (the five
+# analyzers under internal/analysis — vclock, maporder, hotalloc,
+# sinkcomplete, errcode) and runs it over the whole tree through the
+# `go vet -vettool` protocol, so findings are cached per package like any
+# other vet check. See docs/static-analysis.md.
+lint:
+	$(GO) build -o bin/adplint ./cmd/adplint
+	$(GO) vet -vettool=$(abspath bin/adplint) ./...
 
 build:
 	$(GO) build ./...
@@ -71,4 +80,4 @@ serve-smoke:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
 
-ci: check-fmt vet build test examples fuzz-short chaos check-allocs serve-smoke
+ci: check-fmt vet lint build test examples fuzz-short chaos check-allocs serve-smoke

@@ -1,0 +1,124 @@
+// adplint runs the adp analyzer suite (internal/analysis): mechanical
+// enforcement of the engine's determinism, hot-path, and wire-protocol
+// contracts. See docs/static-analysis.md for the analyzer catalog and
+// the //adp: directive reference.
+//
+// It speaks two protocols:
+//
+//   - As a vet tool:   go vet -vettool=$(pwd)/bin/adplint ./...
+//     The go command hands it one vet.cfg per package (file lists,
+//     import maps, export-data paths); `make lint` uses this mode so
+//     package enumeration, caching, and test-file handling match vet.
+//
+//   - Standalone:      adplint [-only vclock,maporder] ./...
+//     Loads packages itself via `go list -export` (build-cache export
+//     data; no network, no extra deps) — handy for one-off runs and
+//     editor integration.
+//
+// Exit status: 0 clean, 1 driver error, 2 diagnostics reported (the
+// vet-tool convention).
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/tukwila/adp/internal/analysis"
+)
+
+func main() {
+	// The go command probes its -vettool with -V=full (tool identity for
+	// action caching) and -flags (supported flags, JSON) before any real
+	// work; both must answer on stdout and exit 0.
+	if len(os.Args) == 2 {
+		switch os.Args[1] {
+		case "-V=full", "--V=full":
+			printVersion()
+			return
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	only := flag.String("only", "", "comma-separated analyzer subset (default: whole suite)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: adplint [-only a,b] packages...  |  go vet -vettool=adplint ./...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Suite {
+			scope := "all packages (self-triggering)"
+			if a.Packages != nil {
+				scope = strings.Join(a.Packages, ", ")
+			}
+			fmt.Printf("%-14s %s\n%14s   scope: %s\n", a.Name, a.Doc, "", scope)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fatal(err)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(1)
+	}
+
+	var found bool
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		found, err = runVetTool(args[0], analyzers)
+	} else {
+		found, err = runStandalone(args, analyzers)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if found {
+		os.Exit(2)
+	}
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return analysis.Suite, nil
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a := analysis.ByName(strings.TrimSpace(name))
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (run adplint -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// printVersion emits the tool-identity line the go command hashes into
+// its vet action cache: content-addressed on our own binary so editing
+// an analyzer invalidates cached vet results.
+func printVersion() {
+	var id string
+	if data, err := os.ReadFile(os.Args[0]); err == nil {
+		sum := sha256.Sum256(data)
+		id = fmt.Sprintf("%x", sum[:8])
+	} else {
+		id = "unknown"
+	}
+	fmt.Printf("%s version devel buildID=%s\n", filepath.Base(os.Args[0]), id)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "adplint: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"github.com/tukwila/adp/internal/analysis"
+)
+
+// listedPackage is the subset of `go list -json` output the standalone
+// loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Export     string
+	Module     *struct{ Path string }
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// runStandalone loads the packages matching patterns with
+// `go list -export` (which compiles them and yields build-cache export
+// data for every dependency), type-checks each in-module package, and
+// runs the analyzers over it. No network, no deps beyond the toolchain.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer) (found bool, err error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,GoFiles,Standard,Export,Module,DepOnly,Incomplete,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return false, fmt.Errorf("go list -export: %v", err)
+	}
+
+	exports := map[string]string{}
+	var targets []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return false, err
+		}
+		if p.Error != nil {
+			return false, fmt.Errorf("loading %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		pkg := p
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, &pkg)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := &exportImporter{fset: fset, files: exports}
+	for _, p := range targets {
+		diags, err := analyzePackage(fset, p, imp, analyzers)
+		if err != nil {
+			return found, err
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+		}
+		found = found || len(diags) > 0
+	}
+	return found, nil
+}
+
+func analyzePackage(fset *token.FileSet, p *listedPackage, imp *exportImporter, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	pkg, info, err := analysis.Check(fset, p.ImportPath, files, imp)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+	}
+	return analysis.RunAnalyzers(fset, files, pkg, info, analyzers, true), nil
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"github.com/tukwila/adp/internal/analysis"
+)
+
+// vetConfig mirrors the JSON the go command writes for its -vettool
+// (cmd/go/internal/work.vetConfig). Fields we do not consume are listed
+// anyway so the schema is documented in one place.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetTool analyzes the single package described by a vet.cfg and
+// prints diagnostics to stderr. It reports whether any were found.
+func runVetTool(cfgPath string, analyzers []*analysis.Analyzer) (found bool, err error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return false, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return false, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+	// The go command caches vet results keyed on the facts file, so it
+	// must exist even though the suite computes no facts. Dependency
+	// passes (VetxOnly) stop here: diagnostics for them are not wanted.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("adplint: no facts\n"), 0o666); err != nil {
+			return false, err
+		}
+	}
+	if cfg.VetxOnly {
+		return false, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return false, nil
+			}
+			return false, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return false, nil
+	}
+	pkg, info, err := analysis.Check(fset, cfg.ImportPath, files, &exportImporter{
+		fset:      fset,
+		importMap: cfg.ImportMap,
+		files:     cfg.PackageFile,
+	})
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return false, nil
+		}
+		return false, fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+	diags := analysis.RunAnalyzers(fset, files, pkg, info, analyzers, true)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	return len(diags) > 0, nil
+}
+
+// exportImporter resolves imports from the compiler export data the go
+// command lists in the vet config (or `go list -export` provides in
+// standalone mode): source import path -> canonical package path via
+// importMap, canonical path -> export/archive file via files, decoded
+// by the standard gc importer.
+type exportImporter struct {
+	fset      *token.FileSet
+	importMap map[string]string // may be nil (identity)
+	files     map[string]string
+	gc        types.Importer
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := e.importMap[path]; ok {
+		path = mapped
+	}
+	if e.gc == nil {
+		e.gc = importer.ForCompiler(e.fset, "gc", func(p string) (io.ReadCloser, error) {
+			file, ok := e.files[p]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", p)
+			}
+			return os.Open(file)
+		})
+	}
+	return e.gc.Import(path)
+}

@@ -1,0 +1,88 @@
+// Package analysis is adplint's analyzer suite: mechanical enforcement
+// of the engine's determinism, hot-path, and wire-protocol contracts
+// (docs/static-analysis.md).
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis —
+// Analyzer, Pass, Diagnostic carry the same shapes and the same
+// semantics — but is self-hosted on the standard library's go/ast and
+// go/types so the module stays dependency-free. If the x/tools
+// dependency ever lands, each analyzer ports by swapping the import and
+// deleting this file.
+//
+// The contracts the suite enforces exist because adaptive execution
+// (conf_sigmod_IvesHW04) must be replayable: plan switching and
+// stitch-up decisions are driven by virtual clocks and seeded
+// randomness, so a stray wall-clock read or an unsorted map iteration
+// on an emit path silently breaks the byte-identical-rows pins that
+// every execution mode is verified against.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the adplint
+	// command line.
+	Name string
+
+	// Doc is the analyzer's one-paragraph documentation.
+	Doc string
+
+	// Packages, when non-nil, restricts the analyzer to packages whose
+	// import path ends with one of the listed suffixes (e.g.
+	// "internal/core"). A nil list applies the analyzer everywhere; the
+	// check is then expected to self-trigger (an annotation, a method
+	// name, a type name). The driver enforces this; analysistest runs
+	// the analyzer unconditionally.
+	Packages []string
+
+	// Run applies the check to one package.
+	Run func(*Pass) error
+}
+
+// AppliesTo reports whether the analyzer covers a package with the
+// given import path under the driver's package scoping rules.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	if a.Packages == nil {
+		return true
+	}
+	for _, suffix := range a.Packages {
+		if pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// A Pass supplies one type-checked package to an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // package files, test files excluded
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Directives indexes the //adp: comment directives found in Files
+	// (the audited escape hatches: wallclock, unordered-ok, hotpath,
+	// alloc-ok).
+	Directives *Directives
+
+	// Report delivers a diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,154 @@
+// Package analysistest runs an analyzer over a golden corpus under
+// testdata/src/<name> and checks its diagnostics against // want
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest on
+// the standard library only.
+//
+// Expectation syntax: a comment `// want "re1" "re2"` on a source line
+// declares that the analyzer must report, on that exact line, one
+// diagnostic matching each regular expression — and the run must
+// produce no diagnostics that match nothing.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/tukwila/adp/internal/analysis"
+)
+
+// Shared across corpora so the standard library is type-checked from
+// source once per test binary.
+var (
+	sharedFset = token.NewFileSet()
+	sharedImp  types.Importer
+	impOnce    sync.Once
+)
+
+func stdImporter() types.Importer {
+	impOnce.Do(func() { sharedImp = analysis.SourceImporter(sharedFset) })
+	return sharedImp
+}
+
+// Run loads testdata/src/<corpus>, applies a, and reports any mismatch
+// between produced diagnostics and // want expectations as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, corpus string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", corpus)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading corpus %s: %v", dir, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(sharedFset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing corpus file: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("corpus %s has no Go files", dir)
+	}
+	pkg, info, err := analysis.Check(sharedFset, corpus, files, stdImporter())
+	if err != nil {
+		t.Fatalf("type-checking corpus %s: %v", corpus, err)
+	}
+
+	wants := collectWants(t, sharedFset, files)
+	diags := analysis.RunAnalyzers(sharedFset, files, pkg, info, []*analysis.Analyzer{a}, false)
+
+	for _, d := range diags {
+		p := sharedFset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+		matched := false
+		rest := wants[key][:0]
+		for _, w := range wants[key] {
+			if !matched && w.MatchString(d.Message) {
+				matched = true
+				continue
+			}
+			rest = append(rest, w)
+		}
+		wants[key] = rest
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	var missing []string
+	for key, ws := range wants {
+		for _, w := range ws {
+			missing = append(missing, fmt.Sprintf("%s: no diagnostic matching %q", key, w.String()))
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Error(m)
+	}
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+// collectWants extracts the per-line expected-diagnostic regexps.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := map[string][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				p := fset.Position(c.Slash)
+				key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+				for _, lit := range splitQuoted(m[1]) {
+					pat, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s: malformed want pattern %s: %v", key, lit, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted splits `"a" "b c"` into quoted literals (backquotes too).
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			return out
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[:end+2])
+		s = s[end+2:]
+	}
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive names. Each is an audited escape hatch written as a comment
+// of the form "//adp:<name> <reason>"; the reason is free text but
+// should say why the site is exempt (docs/static-analysis.md catalogs
+// the conventions).
+const (
+	// DirectiveWallclock exempts a wall-clock or global-rand call site
+	// (or a whole function, when placed in its doc comment) from the
+	// vclock analyzer. Valid only for report-timing sites that cannot
+	// influence plan choice, virtual clocks, or row order.
+	DirectiveWallclock = "wallclock"
+	// DirectiveUnorderedOK exempts a map-range site from the maporder
+	// analyzer: the loop's effect is order-insensitive (commutative
+	// aggregation, set membership, rebuilding another map).
+	DirectiveUnorderedOK = "unordered-ok"
+	// DirectiveHotpath marks a function as allocation-gated (the static
+	// complement of scripts/check_allocs.sh); the hotalloc analyzer
+	// checks annotated functions for static allocation sources.
+	DirectiveHotpath = "hotpath"
+	// DirectiveAllocOK exempts one statement inside a hotpath function
+	// from the hotalloc analyzer — for audited cold branches (error
+	// paths, one-time growth) that allocate off the steady state.
+	DirectiveAllocOK = "alloc-ok"
+)
+
+const directivePrefix = "//adp:"
+
+// Directives indexes the //adp: comment directives of a set of files.
+// A line-level directive covers the source line it sits on and the line
+// immediately below it (so it can trail a statement or sit above it); a
+// directive in a function's doc comment covers the whole function.
+type Directives struct {
+	fset *token.FileSet
+	// byLine maps filename -> line -> set of directive names on that line.
+	byLine map[string]map[int]map[string]bool
+}
+
+// ParseDirectives scans every comment in files for //adp: directives.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{fset: fset, byLine: map[string]map[int]map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				lines := d.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					d.byLine[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = map[string]bool{}
+					lines[pos.Line] = set
+				}
+				set[name] = true
+			}
+		}
+	}
+	return d
+}
+
+// parseDirective extracts the directive name from a comment's text, or
+// reports false if the comment is not an //adp: directive. Directives
+// follow the Go toolchain's directive shape: no space after "//", name
+// terminated by whitespace ("//adp:wallclock report timing").
+func parseDirective(text string) (string, bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", false
+	}
+	rest := text[len(directivePrefix):]
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return "", false
+	}
+	return rest, true
+}
+
+// AllowedAt reports whether a directive covers the given position: the
+// directive sits on the same line or on the line directly above.
+func (d *Directives) AllowedAt(pos token.Pos, name string) bool {
+	p := d.fset.Position(pos)
+	lines := d.byLine[p.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[p.Line][name] || lines[p.Line-1][name]
+}
+
+// FuncHas reports whether fn's doc comment carries the directive
+// (function-scope escape hatch / annotation).
+func FuncHas(fn *ast.FuncDecl, name string) bool {
+	if fn == nil || fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if got, ok := parseDirective(c.Text); ok && got == name {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingFunc returns the innermost FuncDecl in file containing pos
+// (nil when pos sits outside any function declaration).
+func enclosingFunc(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range file.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Pos() <= pos && pos <= fn.End() {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isGeneratedOrTest reports whether the file should be skipped by all
+// analyzers: _test.go files carry different contracts (they may sleep,
+// time out, and build ad-hoc sinks), and generated files are their
+// generator's responsibility.
+func isGeneratedOrTest(fset *token.FileSet, f *ast.File) bool {
+	name := fset.Position(f.Package).Filename
+	if strings.HasSuffix(name, "_test.go") {
+		return true
+	}
+	return ast.IsGenerated(f)
+}

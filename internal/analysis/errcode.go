@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCodeAnalyzer enforces the wire-protocol error-code registry
+// (docs/wire-protocol.md): every terminal error frame built in
+// internal/server carries a Code, and that Code must be one of the
+// registered Code* constants — never an ad-hoc string. Clients dispatch
+// on the code, the docs enumerate the closed set, and
+// TestWireProtocolDocExamples round-trips it; a stray literal forks the
+// protocol silently.
+//
+// Mechanically: in a WireError composite literal, the Code field's
+// value must resolve to a constant named Code* declared in the package
+// that declares WireError; same for any assignment to a .Code field of
+// a WireError-typed expression.
+var ErrCodeAnalyzer = &Analyzer{
+	Name:     "errcode",
+	Doc:      "terminal error frames must use registered wire-protocol codes",
+	Packages: []string{"internal/server"},
+	Run:      runErrCode,
+}
+
+func runErrCode(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CompositeLit:
+				named := namedType(pass.TypesInfo.TypeOf(e))
+				if named == nil || named.Obj().Name() != "WireError" {
+					return true
+				}
+				for _, elt := range e.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Code" {
+						checkCodeExpr(pass, kv.Value, named)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range e.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "Code" || i >= len(e.Rhs) {
+						continue
+					}
+					named := namedType(pass.TypesInfo.TypeOf(sel.X))
+					if named != nil && named.Obj().Name() == "WireError" {
+						checkCodeExpr(pass, e.Rhs[i], named)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCodeExpr verifies that the expression assigned to a Code field
+// is a registered constant: a *types.Const named Code*, declared in the
+// package that declares WireError. Copying a code from another
+// WireError (err.Code) is also allowed — it was validated at its own
+// construction site.
+func checkCodeExpr(pass *Pass, expr ast.Expr, wireErr *types.Named) {
+	var id *ast.Ident
+	switch v := expr.(type) {
+	case *ast.BasicLit:
+		pass.Reportf(expr.Pos(), "error-frame Code %s is not a registered wire-protocol code; add a Code* constant to the protocol table (and docs/wire-protocol.md) instead of an ad-hoc value", v.Value)
+		return
+	case *ast.Ident:
+		id = v
+	case *ast.SelectorExpr:
+		// pkgname.CodeFoo or other.Code (field copy).
+		if named := namedType(pass.TypesInfo.TypeOf(v.X)); named != nil && named.Obj().Name() == "WireError" && v.Sel.Name == "Code" {
+			return
+		}
+		id = v.Sel
+	default:
+		pass.Reportf(expr.Pos(), "error-frame Code built from an expression; use a registered wire-protocol Code* constant so clients and docs/wire-protocol.md stay a closed set")
+		return
+	}
+	obj := pass.TypesInfo.Uses[id]
+	c, isConst := obj.(*types.Const)
+	if !isConst || !strings.HasPrefix(c.Name(), "Code") || c.Pkg() != wireErr.Obj().Pkg() {
+		pass.Reportf(expr.Pos(), "error-frame Code %q is not a registered wire-protocol code; add a Code* constant to the protocol table (and docs/wire-protocol.md) instead of an ad-hoc value", exprString(id))
+		return
+	}
+}
+
+func exprString(id *ast.Ident) string { return id.Name }
+
+// namedType unwraps pointers and returns the named type of t, if any.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAllocAnalyzer checks functions annotated //adp:hotpath — the entry
+// points whose allocs/op budgets scripts/check_allocs.sh pins at
+// runtime — for static allocation sources:
+//
+//   - any fmt call (formatting allocates and reflects);
+//   - string concatenation (+ / += on strings builds a new string);
+//   - interface boxing of types.Value (a 4-word struct; converting it
+//     to any/interface{} heap-allocates the copy);
+//   - append to a fresh, un-presized slice declared in the same
+//     function (growth reallocates; presize with make(len/cap)).
+//
+// It is the static complement of the runtime alloc gate: the benchmark
+// catches regressions on measured inputs, the analyzer catches the
+// allocation idioms on branches benchmarks never reach. Audited cold
+// branches (error paths, one-time growth) are exempted per statement
+// with //adp:alloc-ok.
+var HotAllocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag static allocation sources in //adp:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !FuncHas(fn, DirectiveHotpath) {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	fresh := freshSlices(pass, fn)
+	allowed := func(pos token.Pos) bool {
+		return pass.Directives.AllowedAt(pos, DirectiveAllocOK)
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if allowed(e.Pos()) {
+				return true
+			}
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+				if pkg := packageOf(pass.TypesInfo.Uses[sel.Sel]); pkg != nil && pkg.Path() == "fmt" {
+					pass.Reportf(e.Pos(), "fmt.%s in hot path %s allocates; pre-build the string or move formatting off the hot path", sel.Sel.Name, fn.Name.Name)
+					return true
+				}
+			}
+			if isBuiltin(pass, e.Fun, "append") && len(e.Args) > 0 {
+				if base, ok := e.Args[0].(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[base]; obj != nil && fresh[obj] {
+						pass.Reportf(e.Pos(), "append to %s grows an un-presized slice in hot path %s; make(%s, 0, n) it or reuse a scratch buffer", base.Name, fn.Name.Name, base.Name)
+					}
+				}
+			}
+			// Interface boxing at call boundaries: a types.Value argument
+			// passed where the parameter is an interface.
+			checkBoxedArgs(pass, fn, e)
+		case *ast.BinaryExpr:
+			// Constant concatenation folds at compile time; only flag
+			// runtime string building.
+			if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+				return true
+			}
+			if e.Op == token.ADD && isStringType(pass.TypesInfo.TypeOf(e.X)) && !allowed(e.Pos()) {
+				pass.Reportf(e.Pos(), "string concatenation in hot path %s allocates; append into a reused []byte instead", fn.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if e.Tok == token.ADD_ASSIGN && len(e.Lhs) == 1 && isStringType(pass.TypesInfo.TypeOf(e.Lhs[0])) && !allowed(e.Pos()) {
+				pass.Reportf(e.Pos(), "string += in hot path %s allocates; append into a reused []byte instead", fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkBoxedArgs flags types.Value arguments converted to interface
+// parameters (including variadic ...any) inside a call.
+func checkBoxedArgs(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	sigT := pass.TypesInfo.TypeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if pass.Directives.AllowedAt(arg.Pos(), DirectiveAllocOK) {
+			continue
+		}
+		var paramT types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if s, ok := last.(*types.Slice); ok {
+				paramT = s.Elem()
+			}
+		case i < sig.Params().Len():
+			paramT = sig.Params().At(i).Type()
+		}
+		if paramT == nil || !types.IsInterface(paramT) {
+			continue
+		}
+		if isValueStruct(pass.TypesInfo.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(), "types.Value boxed into interface argument in hot path %s allocates a copy; pass a pointer or keep the call monomorphic", fn.Name.Name)
+		}
+	}
+}
+
+// freshSlices collects local slice variables declared without capacity:
+// `var s []T`, `s := []T{}`, or `s := []T(nil)`. Appending to these in
+// a hot path reallocates as they grow.
+func freshSlices(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	mark := func(id *ast.Ident, rhs ast.Expr) {
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			return
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		switch v := rhs.(type) {
+		case nil:
+			fresh[obj] = true // var s []T
+		case *ast.CompositeLit:
+			if len(v.Elts) == 0 {
+				fresh[obj] = true // s := []T{}
+			}
+		case *ast.CallExpr:
+			// make([]T, n) with a length presizes; []T(nil) does not.
+			if isBuiltin(pass, v.Fun, "make") {
+				return
+			}
+			if len(v.Args) == 1 {
+				if id, ok := v.Args[0].(*ast.Ident); ok && id.Name == "nil" {
+					fresh[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := s.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) > 0 {
+					if ok {
+						for i, name := range vs.Names {
+							if i < len(vs.Values) {
+								mark(name, vs.Values[i])
+							}
+						}
+					}
+					continue
+				}
+				for _, name := range vs.Names {
+					mark(name, nil)
+				}
+			}
+		case *ast.AssignStmt:
+			if s.Tok != token.DEFINE || len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					mark(id, s.Rhs[i])
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isValueStruct reports whether t is the engine's scalar struct: a
+// named struct type called Value (matched structurally so corpora can
+// declare their own).
+func isValueStruct(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Value" {
+		return false
+	}
+	_, isStruct := named.Underlying().(*types.Struct)
+	return isStruct
+}

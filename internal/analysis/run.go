@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// RunAnalyzers applies analyzers to one type-checked package and
+// returns the diagnostics sorted by position. Test and generated files
+// are excluded up front — the suite's contracts bind production code;
+// tests may sleep, time out, and build ad-hoc sinks. When scope is
+// true, each analyzer's package scoping (Analyzer.Packages) is honored;
+// analysistest passes false to exercise an analyzer regardless of the
+// corpus package's name.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, scope bool) []Diagnostic {
+	kept := files[:0:0]
+	for _, f := range files {
+		if !isGeneratedOrTest(fset, f) {
+			kept = append(kept, f)
+		}
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	dirs := ParseDirectives(fset, kept)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if scope && !a.AppliesTo(pkg.Path()) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      kept,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			Directives: dirs,
+			Report: func(d Diagnostic) {
+				d.Message = "[" + a.Name + "] " + d.Message
+				diags = append(diags, d)
+			},
+		}
+		// Analyzer errors (nil type info, malformed input) surface as
+		// diagnostics at the package position rather than aborting the
+		// whole run.
+		if err := a.Run(pass); err != nil {
+			diags = append(diags, Diagnostic{Pos: kept[0].Package, Message: "[" + a.Name + "] analyzer error: " + err.Error()})
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}
+
+// NewInfo allocates the types.Info maps the analyzers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Check type-checks one package's files with the given importer,
+// tolerating nothing: analyzers need complete type information.
+func Check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// SourceImporter returns a types.Importer that resolves imports by
+// type-checking from source (GOROOT for the standard library). It backs
+// analysistest corpora, which import only the standard library.
+func SourceImporter(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "source", nil)
+}

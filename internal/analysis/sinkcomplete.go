@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// SinkCompleteAnalyzer enforces the fallback-chain contract of the sink
+// protocol (PRs 1–3): the driver downgrades delivery dynamically
+// (columnar batch → row batch → row), so a type that advertises the
+// columnar entry must also carry the row-batch and row entries —
+// otherwise a plan shape that happens to trigger the fallback panics at
+// runtime. Concretely, a named type with a PushColBatch method must
+// also have PushBatch and Push, and one with PushBatch must have Push.
+//
+// It also checks that every Push*Batch body tolerates empty input: the
+// drivers flush zero-length runs at phase and fault boundaries, so
+// indexing the batch with a constant before a length guard is a latent
+// panic.
+var SinkCompleteAnalyzer = &Analyzer{
+	Name: "sinkcomplete",
+	Doc:  "sink types must implement the full fallback chain and tolerate empty batches",
+	Run:  runSinkComplete,
+}
+
+func runSinkComplete(pass *Pass) error {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			// Interfaces state requirements; the contract binds the
+			// concrete implementations (exec.ColBatchSink itself embeds
+			// Sink already).
+			continue
+		}
+		ms := types.NewMethodSet(types.NewPointer(named))
+		has := func(m string) bool { return hasExportedMethod(ms, m) }
+		switch {
+		case has("PushColBatch") && (!has("PushBatch") || !has("Push")):
+			pass.Reportf(tn.Pos(), "%s implements PushColBatch but not the full sink fallback chain (needs PushBatch and Push); the driver downgrades delivery dynamically", name)
+		case has("PushBatch") && !has("Push"):
+			pass.Reportf(tn.Pos(), "%s implements PushBatch but not Push; the driver downgrades delivery dynamically", name)
+		}
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil {
+				continue
+			}
+			if fn.Name.Name == "PushBatch" || fn.Name.Name == "PushColBatch" {
+				checkEmptyTolerant(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+// hasExportedMethod double-checks a method set lookup across package
+// boundaries: MethodSet.Lookup is package-scoped for unexported names,
+// and the sink protocol's methods are all exported, so scan directly.
+func hasExportedMethod(ms *types.MethodSet, name string) bool {
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// checkEmptyTolerant flags constant-index access to the batch parameter
+// that no length guard precedes: Push*Batch entries run on empty input
+// at phase/fault boundaries.
+func checkEmptyTolerant(pass *Pass, fn *ast.FuncDecl) {
+	params := fn.Type.Params
+	if params == nil || len(params.List) == 0 || len(params.List[0].Names) == 0 {
+		return
+	}
+	batch := pass.TypesInfo.Defs[params.List[0].Names[0]]
+	if batch == nil {
+		return
+	}
+	usesParam := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == batch
+	}
+	var firstIndex token.Pos = token.NoPos
+	var firstIndexExpr *ast.IndexExpr
+	var firstGuard token.Pos = token.NoPos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.IndexExpr:
+			if !usesParam(e.X) {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[e.Index]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+				return true // loop-variable indexing is bounded by the loop
+			}
+			if firstIndex == token.NoPos || e.Pos() < firstIndex {
+				firstIndex, firstIndexExpr = e.Pos(), e
+			}
+		case *ast.CallExpr:
+			// len(batch) or batch.Len() — any appearance counts as a
+			// guard if it precedes the first constant index.
+			var guarded bool
+			if isBuiltin(pass, e.Fun, "len") && len(e.Args) == 1 && usesParam(e.Args[0]) {
+				guarded = true
+			}
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Len" && usesParam(sel.X) {
+				guarded = true
+			}
+			if guarded && (firstGuard == token.NoPos || e.Pos() < firstGuard) {
+				firstGuard = e.Pos()
+			}
+		}
+		return true
+	})
+	if firstIndexExpr != nil && (firstGuard == token.NoPos || firstGuard > firstIndex) {
+		pass.Reportf(firstIndex, "%s indexes its batch parameter before any length guard; Push*Batch entries must tolerate empty input (drivers flush zero-length runs)", fn.Name.Name)
+	}
+}

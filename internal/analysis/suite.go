@@ -1,0 +1,21 @@
+package analysis
+
+// Suite is the full adplint analyzer suite, in catalog order
+// (docs/static-analysis.md).
+var Suite = []*Analyzer{
+	VClockAnalyzer,
+	MapOrderAnalyzer,
+	HotAllocAnalyzer,
+	SinkCompleteAnalyzer,
+	ErrCodeAnalyzer,
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Suite {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

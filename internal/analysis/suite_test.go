@@ -1,0 +1,54 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/tukwila/adp/internal/analysis"
+	"github.com/tukwila/adp/internal/analysis/analysistest"
+)
+
+// Each analyzer's golden corpus seeds real violations, exercises its
+// escape-hatch directive, and carries at least one true negative; the
+// harness fails on both missed and spurious diagnostics.
+
+func TestVClockCorpus(t *testing.T)   { analysistest.Run(t, analysis.VClockAnalyzer, "vclock") }
+func TestMapOrderCorpus(t *testing.T) { analysistest.Run(t, analysis.MapOrderAnalyzer, "maporder") }
+func TestHotAllocCorpus(t *testing.T) { analysistest.Run(t, analysis.HotAllocAnalyzer, "hotalloc") }
+func TestSinkCompleteCorpus(t *testing.T) {
+	analysistest.Run(t, analysis.SinkCompleteAnalyzer, "sinkcomplete")
+}
+func TestErrCodeCorpus(t *testing.T) { analysistest.Run(t, analysis.ErrCodeAnalyzer, "errcode") }
+
+// TestSuiteScoping pins the driver-level package scoping: vclock binds
+// the virtual-time packages, errcode binds the server, and the
+// self-triggering analyzers apply everywhere.
+func TestSuiteScoping(t *testing.T) {
+	cases := []struct {
+		analyzer *analysis.Analyzer
+		pkg      string
+		want     bool
+	}{
+		{analysis.VClockAnalyzer, "github.com/tukwila/adp/internal/core", true},
+		{analysis.VClockAnalyzer, "github.com/tukwila/adp/internal/engine", true},
+		{analysis.VClockAnalyzer, "github.com/tukwila/adp/internal/server", false},
+		{analysis.VClockAnalyzer, "github.com/tukwila/adp/internal/bench", false},
+		{analysis.MapOrderAnalyzer, "github.com/tukwila/adp/internal/server", true},
+		{analysis.MapOrderAnalyzer, "github.com/tukwila/adp/internal/types", true},
+		{analysis.MapOrderAnalyzer, "github.com/tukwila/adp/internal/datagen", false},
+		{analysis.ErrCodeAnalyzer, "github.com/tukwila/adp/internal/server", true},
+		{analysis.ErrCodeAnalyzer, "github.com/tukwila/adp/internal/core", false},
+		{analysis.HotAllocAnalyzer, "github.com/tukwila/adp/internal/datagen", true},
+		{analysis.SinkCompleteAnalyzer, "github.com/tukwila/adp/cmd/adpserve", true},
+	}
+	for _, c := range cases {
+		if got := c.analyzer.AppliesTo(c.pkg); got != c.want {
+			t.Errorf("%s.AppliesTo(%s) = %v, want %v", c.analyzer.Name, c.pkg, got, c.want)
+		}
+	}
+	if analysis.ByName("vclock") != analysis.VClockAnalyzer || analysis.ByName("nope") != nil {
+		t.Error("ByName lookup broken")
+	}
+	if len(analysis.Suite) != 5 {
+		t.Errorf("suite has %d analyzers, want 5", len(analysis.Suite))
+	}
+}

@@ -1,0 +1,46 @@
+// Corpus for the errcode analyzer: terminal error frames must draw
+// their Code from the registered Code* constant table.
+package errcode
+
+// The registered wire-protocol code table.
+const (
+	CodeInternal = "internal"
+	CodeCanceled = "canceled"
+)
+
+// rogue is a string constant but not a registered Code* entry.
+const rogue = "rogue"
+
+type WireError struct {
+	Code    string
+	Message string
+}
+
+// registered is a true negative.
+func registered() WireError {
+	return WireError{Code: CodeInternal, Message: "boom"}
+}
+
+func literal() WireError {
+	return WireError{Code: "oops"} // want `not a registered wire-protocol code`
+}
+
+func unregisteredConst() WireError {
+	return WireError{Code: rogue} // want `not a registered wire-protocol code`
+}
+
+func computed(s string) WireError {
+	return WireError{Code: "prefix_" + s} // want `Code built from an expression`
+}
+
+func reassigned() WireError {
+	we := WireError{Code: CodeCanceled}
+	we.Code = rogue // want `not a registered wire-protocol code`
+	we.Code = CodeInternal
+	return we
+}
+
+// fieldCopy propagates an already-validated code: true negative.
+func fieldCopy(src WireError) WireError {
+	return WireError{Code: src.Code, Message: "relayed"}
+}

@@ -1,0 +1,61 @@
+// Corpus for the hotalloc analyzer: static allocation sources inside
+// //adp:hotpath functions (fmt, string building, Value boxing,
+// un-presized append), the //adp:alloc-ok statement escape hatch, and
+// true negatives (presized buffers, unannotated cold functions).
+package hotalloc
+
+import "fmt"
+
+// Value mirrors the engine's scalar struct (matched structurally by
+// the analyzer).
+type Value struct {
+	K uint8
+	I int64
+	F float64
+	S string
+}
+
+func sinkAny(v any) {}
+
+//adp:hotpath corpus: every static allocation source at once
+func bad(vs []Value) string {
+	s := ""
+	for _, v := range vs {
+		s += string(rune(v.I)) // want `string \+= in hot path bad`
+	}
+	msg := fmt.Sprintf("%d rows", len(vs)) // want `fmt\.Sprintf in hot path bad`
+	var out []int
+	out = append(out, 1) // want `append to out grows an un-presized slice in hot path bad`
+	_ = out
+	return s + msg // want `string concatenation in hot path bad`
+}
+
+//adp:hotpath corpus: interface boxing of the scalar struct
+func box(v Value) {
+	sinkAny(v) // want `types\.Value boxed into interface argument in hot path box`
+}
+
+//adp:hotpath corpus: clean hot path — presized, monomorphic, byte-append
+func good(vs []Value, buf []byte) []byte {
+	out := make([]int, 0, len(vs))
+	for _, v := range vs {
+		out = append(out, int(v.I))
+		buf = append(buf, byte(v.I))
+	}
+	_ = out
+	return buf
+}
+
+//adp:hotpath corpus: audited cold branch behind the escape hatch
+func guarded(vs []Value) error {
+	if len(vs) == 0 {
+		//adp:alloc-ok corpus: error path runs once, off the steady state
+		return fmt.Errorf("empty batch")
+	}
+	return nil
+}
+
+// cold is a true negative: no //adp:hotpath annotation, no checks.
+func cold(vs []Value) string {
+	return fmt.Sprint(len(vs)) + "!"
+}

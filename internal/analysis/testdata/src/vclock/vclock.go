@@ -1,0 +1,49 @@
+// Corpus for the vclock analyzer: wall-clock and unseeded-rand
+// violations, the //adp:wallclock escape hatch at line and function
+// scope, and true negatives (seeded generators, pure time arithmetic).
+package vclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	_ = time.Now()               // want `wall-clock call time\.Now`
+	time.Sleep(time.Millisecond) // want `wall-clock call time\.Sleep`
+	_ = time.Since(time.Time{})  // want `wall-clock call time\.Since`
+	_ = time.After(time.Second)  // want `wall-clock call time\.After`
+}
+
+func badRand() {
+	_ = rand.Intn(4)                   // want `unseeded math/rand\.Intn`
+	_ = rand.Int63()                   // want `unseeded math/rand\.Int63`
+	_ = rand.Float64()                 // want `unseeded math/rand\.Float64`
+	rand.Shuffle(2, func(i, j int) {}) // want `unseeded math/rand\.Shuffle`
+}
+
+// seeded is a true negative: constructors are exempt and methods on an
+// explicitly seeded *rand.Rand are deterministic under replay.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// arithmetic is a true negative: duration math never reads the clock.
+func arithmetic(d time.Duration) time.Duration {
+	return 3*time.Second + d
+}
+
+// reportTimer is exempt wholesale: the directive in this doc comment
+// covers the function body.
+//
+//adp:wallclock corpus: audited report-timing helper
+func reportTimer() time.Time {
+	return time.Now()
+}
+
+func lineScoped() time.Duration {
+	//adp:wallclock corpus: directive on the preceding line
+	start := time.Now()
+	return time.Since(start) //adp:wallclock corpus: directive trailing the statement
+}

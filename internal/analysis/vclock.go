@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// VirtualTimePackages are the packages that run on virtual clocks and
+// seeded randomness: everything between plan algebra and the engine
+// facade. Wall-clock reads or unseeded randomness anywhere in them can
+// change plan choice, phase timing, or row order between replays.
+var VirtualTimePackages = []string{
+	"internal/core",
+	"internal/exec",
+	"internal/source",
+	"internal/state",
+	"internal/opt",
+	"internal/algebra",
+	"internal/engine",
+}
+
+// wallClockFuncs are the time-package functions that read or wait on
+// the wall clock. (Pure constructors and conversions — time.Duration
+// arithmetic, time.Unix, time.Date — are deterministic and allowed.)
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// globalRandExempt lists math/rand package-level names that do NOT draw
+// from the unseeded global source: constructors and types used to build
+// explicitly seeded generators.
+var globalRandExempt = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true,
+	"NewChaCha8": true,
+}
+
+// VClockAnalyzer forbids wall-clock access and unseeded (global-source)
+// math/rand calls in the virtual-time packages. The audited escape
+// hatch is //adp:wallclock on the call's line, the line above, or the
+// enclosing function's doc comment — reserved for report-timing sites
+// that provably cannot influence plan choice, virtual clocks, or row
+// order.
+var VClockAnalyzer = &Analyzer{
+	Name:     "vclock",
+	Doc:      "forbid wall-clock and unseeded math/rand in virtual-time packages",
+	Packages: VirtualTimePackages,
+	Run:      runVClock,
+}
+
+func runVClock(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			pkg := packageOf(obj)
+			if pkg == nil {
+				return true
+			}
+			var msg string
+			switch {
+			case pkg.Path() == "time" && wallClockFuncs[obj.Name()]:
+				msg = "wall-clock call time." + obj.Name() + " in virtual-time package (engine runs on exec.VClock); annotate an audited report-timing site with //adp:wallclock"
+			case (pkg.Path() == "math/rand" || pkg.Path() == "math/rand/v2") && isGlobalRandFunc(obj):
+				msg = "unseeded " + pkg.Path() + "." + obj.Name() + " draws from the global source; build rand.New(rand.NewSource(seed)) so replays are deterministic"
+			default:
+				return true
+			}
+			if pass.Directives.AllowedAt(call.Pos(), DirectiveWallclock) ||
+				FuncHas(enclosingFunc(file, call.Pos()), DirectiveWallclock) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s", msg)
+			return true
+		})
+	}
+	return nil
+}
+
+// isGlobalRandFunc reports whether obj is a math/rand package-level
+// function backed by the process-global (unseeded) source. Methods on
+// *rand.Rand are explicitly seeded by construction and allowed.
+func isGlobalRandFunc(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	return !globalRandExempt[fn.Name()]
+}
+
+// packageOf returns the package an object belongs to (nil for builtins
+// and package names themselves).
+func packageOf(obj types.Object) *types.Package {
+	if obj == nil {
+		return nil
+	}
+	if _, isPkg := obj.(*types.PkgName); isPkg {
+		return nil
+	}
+	return obj.Pkg()
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"time"
 
 	"github.com/tukwila/adp/internal/algebra"
 	"github.com/tukwila/adp/internal/exec"
@@ -267,7 +266,7 @@ func RunStream(ctx context.Context, cat *Catalog, q *algebra.Query, o Options, h
 			return nil, fmt.Errorf("core: catalog has no source %q", r.Name)
 		}
 	}
-	start := time.Now()
+	elapsed := reportTimer()
 	ex := &executor{
 		cat:      cat,
 		q:        q,
@@ -339,7 +338,7 @@ func RunStream(ctx context.Context, cat *Catalog, q *algebra.Query, o Options, h
 	ex.rep.Schema = ex.outSchema
 	ex.rep.VirtualSeconds = ex.ctx.Clock.Now
 	ex.rep.CPUSeconds = ex.ctx.Clock.CPU
-	ex.rep.RealSeconds = time.Since(start).Seconds()
+	ex.rep.RealSeconds = elapsed()
 	ex.snapshotSourceFaults()
 	ex.flushFinal()
 	return ex.rep, nil
@@ -763,6 +762,7 @@ func (ex *executor) runPhaseParallel(root algebra.Plan) (exhausted bool, next al
 	// only the corrective strategy can grow a second phase, so a static
 	// run skips the O(join output) merge entirely.
 	if ex.o.Strategy == Corrective {
+		//adp:unordered-ok map→map copy; stitch-up reads Interm by key
 		for key, list := range pt.MergedInterm() {
 			rec.Interm[key] = list
 		}

@@ -78,6 +78,7 @@ func (ex *executor) runPlanPartition() error {
 		return err
 	}
 	known2 := map[string]float64{matRelName: float64(matRows.Len())}
+	//adp:unordered-ok map→map copy; the optimizer reads Known by key
 	for k, v := range ex.o.Known {
 		if !covered[k] {
 			known2[k] = v

@@ -1,0 +1,23 @@
+package core
+
+import "time"
+
+// reportTimer measures a run's real (wall-clock) duration for
+// Report.RealSeconds — the engine core's single audited wall-clock
+// site. The audit, for the vclock analyzer's escape hatch below:
+//
+//   - the start reading is taken before any operator runs and the stop
+//     reading after rows, counters, and virtual clocks are final;
+//   - the value lands only in Report.RealSeconds, which flows outward
+//     (CLI output, the wire report frame, bench tables) and is never
+//     read by the optimizer, the corrective monitor, any operator, or
+//     the stream cursor;
+//
+// so wall time cannot influence plan choice, virtual clocks, or row
+// order. Everything else in this package times itself on exec.VClock.
+//
+//adp:wallclock audited: feeds Report.RealSeconds only, after results are final
+func reportTimer() func() float64 {
+	start := time.Now()
+	return func() float64 { return time.Since(start).Seconds() }
+}

@@ -1,0 +1,63 @@
+package datagen
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/tukwila/adp/internal/source"
+	"github.com/tukwila/adp/internal/types"
+)
+
+// fingerprintRelation encodes every row through the collision-free key
+// codec, yielding a byte string that is equal iff the relations hold the
+// same rows in the same order.
+func fingerprintRelation(rel *source.Relation) []byte {
+	var buf []byte
+	for _, t := range rel.Rows {
+		buf = types.AppendKeyAll(buf, t)
+		buf = append(buf, 0xFF) // row separator (never produced by the codec's tags)
+	}
+	return buf
+}
+
+func fingerprintDataset(d *Dataset) []byte {
+	var buf []byte
+	for _, name := range []string{"region", "nation", "supplier", "customer", "orders", "lineitem"} {
+		buf = append(buf, name...)
+		buf = append(buf, fingerprintRelation(d.Relations()[name])...)
+	}
+	return buf
+}
+
+// TestGenerateSeedDeterminism pins the repo-wide seeding contract: every
+// math/rand consumer is constructed from an explicit seed, so identical
+// configs produce byte-identical datasets — across runs, GOMAXPROCS
+// settings, and Go releases of the same rand algorithm. The vclock
+// analyzer (internal/analysis) enforces the "no unseeded rand" half of
+// this mechanically; this test pins the observable output half.
+func TestGenerateSeedDeterminism(t *testing.T) {
+	cfg := Config{ScaleFactor: 0.002, Skewed: true, Z: DefaultZ, Seed: 42}
+	a := fingerprintDataset(Generate(cfg))
+	b := fingerprintDataset(Generate(cfg))
+	if !bytes.Equal(a, b) {
+		t.Fatal("Generate with identical Config produced different datasets")
+	}
+
+	cfg.Seed = 43
+	c := fingerprintDataset(Generate(cfg))
+	if bytes.Equal(a, c) {
+		t.Fatal("Generate with a different Seed produced an identical dataset")
+	}
+}
+
+func TestZipfTableSeedDeterminism(t *testing.T) {
+	a := fingerprintRelation(ZipfTable("zt", 500, 50, 0.5, 7))
+	b := fingerprintRelation(ZipfTable("zt", 500, 50, 0.5, 7))
+	if !bytes.Equal(a, b) {
+		t.Fatal("ZipfTable with identical args produced different relations")
+	}
+	c := fingerprintRelation(ZipfTable("zt", 500, 50, 0.5, 8))
+	if bytes.Equal(a, c) {
+		t.Fatal("ZipfTable with a different seed produced an identical relation")
+	}
+}

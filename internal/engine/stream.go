@@ -241,6 +241,8 @@ func (s *Stream) appendEvent(ev core.Event) {
 // exhausted — because the run completed, failed, or was canceled; consult
 // Err (definitive at that point) to distinguish. Next is not safe for
 // concurrent use; the Stream is a single-consumer cursor.
+//
+//adp:hotpath gated by BenchmarkStreamDelivery (scripts/check_allocs.sh)
 func (s *Stream) Next() (types.Tuple, bool) {
 	if s.curIdx < len(s.cur) {
 		t := s.cur[s.curIdx]

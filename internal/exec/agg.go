@@ -252,6 +252,8 @@ func (a *AggTable) groupScratch(n int) []types.Value {
 }
 
 // AbsorbRaw folds one raw tuple (input layout).
+//
+//adp:hotpath gated by BenchmarkAggTableAbsorb (scripts/check_allocs.sh)
 func (a *AggTable) AbsorbRaw(t types.Tuple) {
 	a.counters.In++
 	a.ctx.Clock.Charge(a.ctx.Cost.AggUpdate)
@@ -275,6 +277,8 @@ func (a *AggTable) Push(t types.Tuple) { a.AbsorbRaw(t) }
 
 // PushBatch implements BatchSink: a batch of raw tuples is absorbed with
 // the shared grouping scratch, no per-tuple allocations at steady state.
+//
+//adp:hotpath gated by BenchmarkAggTableAbsorb (scripts/check_allocs.sh)
 func (a *AggTable) PushBatch(ts []types.Tuple) {
 	for _, t := range ts {
 		a.AbsorbRaw(t)

@@ -88,6 +88,8 @@ func (e *Exchange) Push(t types.Tuple) {
 // per-partition buffers and delivered partition by partition (ascending),
 // preserving row order within each partition. Steady state performs no
 // allocations beyond buffer growth.
+//
+//adp:hotpath gated by BenchmarkExchangePartition (scripts/check_allocs.sh)
 func (e *Exchange) PushBatch(ts []types.Tuple) {
 	e.counters.In += int64(len(ts))
 	for _, t := range ts {
@@ -101,6 +103,8 @@ func (e *Exchange) PushBatch(ts []types.Tuple) {
 // the whole batch's key columns column-at-a-time (reusing the hash
 // vector), rows are materialized as retention-safe tuples, and the
 // scatter consumes the precomputed hash lanes — no per-row hashing.
+//
+//adp:hotpath gated by BenchmarkExchangePartition (scripts/check_allocs.sh)
 func (e *Exchange) PushColBatch(b *types.ColBatch) {
 	n := b.Len()
 	if n == 0 {

@@ -227,6 +227,8 @@ func (j *HashJoin) RightSink() Sink { return joinSide{j: j, left: false} }
 // results are carved from an arena, and the batch's outputs are delivered
 // downstream in one call. Counters, clock charges, and output order are
 // identical to pushing the tuples one at a time.
+//
+//adp:hotpath gated by BenchmarkPipelinedJoinPush (scripts/check_allocs.sh)
 func (j *HashJoin) PushLeftBatch(ts []types.Tuple) {
 	if j.Style == NestedLoops {
 		for _, t := range ts {
@@ -251,6 +253,8 @@ func (j *HashJoin) PushLeftBatch(ts []types.Tuple) {
 }
 
 // PushRightBatch feeds a batch of tuples into the right input.
+//
+//adp:hotpath gated by BenchmarkPipelinedJoinPush (scripts/check_allocs.sh)
 func (j *HashJoin) PushRightBatch(ts []types.Tuple) {
 	if j.Style == NestedLoops {
 		for _, t := range ts {

@@ -156,6 +156,8 @@ func (m *MergeJoin) PushRight(t types.Tuple) error {
 // the local table, as PushLeft does) and processing continues with the
 // rest of the batch; the first error is returned. The batch slice is not
 // retained.
+//
+//adp:hotpath gated by BenchmarkMergeJoinPush (scripts/check_allocs.sh)
 func (m *MergeJoin) PushLeftBatch(ts []types.Tuple) error {
 	m.em.Begin()
 	err := m.pushBatch(&m.left, &m.counters.InLeft, ts)
@@ -164,6 +166,8 @@ func (m *MergeJoin) PushLeftBatch(ts []types.Tuple) error {
 }
 
 // PushRightBatch feeds a batch of in-order tuples to the right input.
+//
+//adp:hotpath gated by BenchmarkMergeJoinPush (scripts/check_allocs.sh)
 func (m *MergeJoin) PushRightBatch(ts []types.Tuple) error {
 	m.em.Begin()
 	err := m.pushBatch(&m.right, &m.counters.InRight, ts)

@@ -283,6 +283,8 @@ const (
 // (BenchmarkRowEncode pins the budget in CI). NULL encodes as JSON null;
 // non-finite floats (never produced by the TPC-H workload) also encode
 // as null, since JSON has no NaN/Inf.
+//
+//adp:hotpath gated by BenchmarkRowEncode (scripts/check_allocs.sh)
 func AppendRowFrame(dst []byte, t types.Tuple) []byte {
 	dst = append(dst, rowFramePrefix...)
 	for i, v := range t {

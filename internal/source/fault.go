@@ -296,7 +296,10 @@ func (f *Faulty) Faulted() error {
 	return nil
 }
 
-// Next implements Provider.
+// Next implements Provider. The no-fault fast path must stay
+// allocation-free.
+//
+//adp:hotpath gated by BenchmarkFaultyNext (scripts/check_allocs.sh)
 func (f *Faulty) Next() (Row, bool) {
 	if f.failed != nil {
 		return Row{}, false

@@ -109,6 +109,8 @@ func (h *HashTable) InsertHashedBatch(hashes []uint64, ts []types.Tuple) {
 // row's probe; later rows still probe). It is the batch companion of
 // ProbeHashed — one hash vector and zero per-row setup, with spill I/O
 // accounted per probe exactly as in the scalar path.
+//
+//adp:hotpath gated by BenchmarkHashTableProbe (scripts/check_allocs.sh)
 func (h *HashTable) ProbeHashedBatch(hashes []uint64, keys []types.Tuple, keyCols []int, fn func(row int, match types.Tuple) bool) {
 	for i, key := range keys {
 		bi := h.bucketOf(hashes[i])
@@ -200,6 +202,8 @@ func (h *HashTable) Probe(key []types.Value, fn func(types.Tuple) bool) {
 // the key's hash (computed once per tuple and shared between insert and
 // probe) and the key as a tuple prefix. Steady-state it performs zero
 // allocations.
+//
+//adp:hotpath gated by BenchmarkHashTableProbe (scripts/check_allocs.sh)
 func (h *HashTable) ProbeHashed(hash uint64, key types.Tuple, fn func(types.Tuple) bool) {
 	bi := h.bucketOf(hash)
 	if h.isSpilled(bi) {

@@ -107,6 +107,8 @@ func (b *ColBatch) ToRows(dst []Tuple) []Tuple {
 // sequential sweep — the struct-of-arrays layout keeps those sweeps on
 // contiguous memory. dst[i] equals what row i's Tuple.HashKey(cols) would
 // return.
+//
+//adp:hotpath gated by BenchmarkHashKeys (scripts/check_allocs.sh)
 func HashKeys(dst []uint64, b *ColBatch, cols []int) []uint64 {
 	n := b.n
 	if cap(dst) < n {

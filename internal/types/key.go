@@ -72,6 +72,8 @@ func Identity(n int) []int {
 
 // AppendKeyAll appends the encoding of every column of t (the common case
 // of encoding an already-extracted key vector).
+//
+//adp:hotpath key codec under every hash-state benchmark (scripts/check_allocs.sh)
 func AppendKeyAll(dst []byte, t Tuple) []byte {
 	for _, v := range t {
 		dst = AppendKeyValue(dst, v)
@@ -82,6 +84,8 @@ func AppendKeyAll(dst []byte, t Tuple) []byte {
 // AppendKey appends the encoding of t's key columns to dst and returns
 // the extended buffer. Pass a reused buffer (dst[:0]) for allocation-free
 // steady-state encoding.
+//
+//adp:hotpath key codec under every hash-state benchmark (scripts/check_allocs.sh)
 func AppendKey(dst []byte, t Tuple, cols []int) []byte {
 	for _, c := range cols {
 		dst = AppendKeyValue(dst, t[c])
@@ -90,6 +94,8 @@ func AppendKey(dst []byte, t Tuple, cols []int) []byte {
 }
 
 // AppendKeyValue appends the encoding of a single value to dst.
+//
+//adp:hotpath key codec under every hash-state benchmark (scripts/check_allocs.sh)
 func AppendKeyValue(dst []byte, v Value) []byte {
 	dst = append(dst, byte(v.K))
 	switch v.K {
