@@ -105,6 +105,37 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 		})
 	}
 
+	// 2b-wide. The same layout sweep over a wide (12-column-per-side)
+	// synthetic join, where layout dominates: the columnar path's
+	// gather-emit into reused output vectors avoids materializing
+	// 24-slot rows entirely and should beat row batches by ≥20% wall
+	// clock (the PR 9 acceptance target), not merely tie.
+	wideL, wideR := wideJoinRelations(1<<15, cfg.Seed+3)
+	for _, layout := range []string{"tuple", "rows", "columnar"} {
+		ctx := exec.NewContext()
+		var n int64
+		j := exec.NewHashJoin(ctx, exec.Pipelined, wideL.Schema, wideR.Schema,
+			[]int{0}, []int{0}, exec.SinkFunc(func(types.Tuple) { n++ }))
+		ll := &exec.Leaf{Provider: source.NewProvider(wideL, nil), Push: j.PushLeft}
+		rl := &exec.Leaf{Provider: source.NewProvider(wideR, nil), Push: j.PushRight}
+		switch layout {
+		case "rows":
+			ll.PushBatch, rl.PushBatch = j.PushLeftBatch, j.PushRightBatch
+		case "columnar":
+			ll.PushColBatch, rl.PushColBatch = j.PushLeftColBatch, j.PushRightColBatch
+		}
+		start := time.Now()
+		exec.NewDriver(ctx, ll, rl).Run(0, nil)
+		j.FinishLeft()
+		j.FinishRight()
+		out = append(out, AblationRow{
+			Experiment: "batch-layout-wide",
+			Setting:    layout,
+			Seconds:    ctx.Clock.Now,
+			Detail:     fmt.Sprintf("wall=%v out=%d cols=%d", time.Since(start).Round(time.Microsecond), n, wideL.Schema.Len()*2),
+		})
+	}
+
 	// 2c. Partition scaling: the pipelined hash join run as P
 	// hash-partitioned pipeline clones on worker goroutines (exchange +
 	// parallel driver). Seconds is the virtual makespan — the slowest

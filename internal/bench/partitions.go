@@ -47,6 +47,40 @@ func partitionJoinRows(n int, seed int64) (ls, rs []types.Tuple) {
 	return ls, rs
 }
 
+// wideJoinRelations synthesizes a 12-column-per-side join pair (key
+// first, then 11 integer payload columns) for the wide-schema layout
+// ablation: n rows per side over a key domain of n/4.
+func wideJoinRelations(n int, seed int64) (*source.Relation, *source.Relation) {
+	const w = 12
+	mkSchema := func(prefix string) *types.Schema {
+		cols := make([]types.Column, w)
+		cols[0] = types.Column{Name: prefix + ".k", Kind: types.KindInt}
+		for i := 1; i < w; i++ {
+			cols[i] = types.Column{Name: fmt.Sprintf("%s.p%d", prefix, i), Kind: types.KindInt}
+		}
+		return types.NewSchema(cols...)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dom := int64(n / 4)
+	if dom < 4 {
+		dom = 4
+	}
+	mkRows := func() []types.Tuple {
+		out := make([]types.Tuple, n)
+		for i := range out {
+			t := make(types.Tuple, w)
+			t[0] = types.Int(rng.Int63n(dom))
+			for j := 1; j < w; j++ {
+				t[j] = types.Int(int64(i + j))
+			}
+			out[i] = t
+		}
+		return out
+	}
+	return source.NewRelation("WL", mkSchema("wl"), mkRows()),
+		source.NewRelation("WR", mkSchema("wr"), mkRows())
+}
+
 // runPartitionedJoin executes the pipelined join at the given partition
 // width and reports (output rows, virtual makespan, wall clock). Width 1
 // is the serial reference (plain Driver, no exchange).

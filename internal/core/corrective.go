@@ -705,7 +705,8 @@ func (ex *executor) runPhaseParallel(root algebra.Plan) (exhausted bool, next al
 	}
 	pd := exec.NewParallelDriver(ex.ctx, pt.Ctxs)
 	pd.Bind(handlers, pt.RunFinisher, pt.FinishSteps())
-	pt.Bind(pd.StageSend, len(rels))
+	pd.BindCol(pt.HandlersCol(rels))
+	pt.Bind(pd.StageSend, pd.StageSendCol, len(rels))
 
 	// Wire leaves exactly like the serial phase — filter pushdown,
 	// base-partition capture, counters all happen on the driver goroutine
@@ -728,10 +729,19 @@ func (ex *executor) runPhaseParallel(root algebra.Plan) (exhausted bool, next al
 	var switchTo algebra.Plan
 	poll := func() bool {
 		// The parallel driver quiesces the pipelines before every poll,
-		// so per-partition operator state is safe to read here. Root rows
-		// produced so far sit in the partition merge buffers (they drain
-		// after the phase), so SPJ rows flush per phase here, not per
-		// poll.
+		// so per-partition operator state is safe to read here — and the
+		// partition buffers are stable, so the order-releasing merge can
+		// stream the globally-ordered prefix of root output now instead
+		// of holding everything for the phase-end drain. SPJ first rows
+		// therefore reach the client mid-phase, exactly as in a serial
+		// phase; the total order is unchanged (the prefix property).
+		// Aggregate queries skip the early release: their output only
+		// exists at final emit, and absorbing mid-phase would perturb the
+		// shared table's clock interleaving for no observable benefit.
+		if ex.agg == nil {
+			merge.ReleasePrefix(sink)
+			ex.flushRows()
+		}
 		ex.recordObservations(pt.JoinViews(), leaves, phasePassed)
 		if next, ok := ex.monitorStep(root, pd.Delivered(), pt.CollisionFactor()); ok {
 			switchTo = next

@@ -48,9 +48,10 @@ type ParTree struct {
 	boundaries  int
 	entrySinks  [][]exec.Sink
 	entryOffset int
-	// send ships cross-partition rows; bound to the parallel runtime by
-	// Bind before execution starts.
-	send func(from, dst, entry int, rows []types.Tuple)
+	// send/sendCol ship cross-partition rows and columnar frames; bound
+	// to the parallel runtime by Bind before execution starts.
+	send    func(from, dst, entry int, rows []types.Tuple)
+	sendCol func(from, dst, entry int, b *types.ColBatch)
 }
 
 // parLowering is the per-partition boundary installer consulted by
@@ -85,13 +86,28 @@ func (pl *parLowering) sink(child algebra.Plan, keyCols []int, down exec.Sink) (
 	}
 	pl.pt.entrySinks[pl.p] = append(pl.pt.entrySinks[pl.p], down)
 	pt, p := pl.pt, pl.p
-	return exec.NewExchange(pt.P, keyCols, func(dst int, rows []types.Tuple) {
+	exch := exec.NewExchange(pt.P, keyCols, func(dst int, rows []types.Tuple) {
 		if dst == p {
 			exec.PushAll(down, rows)
 			return
 		}
 		pt.send(p, dst, pt.entryOffset+id, rows)
-	}), nil
+	})
+	// When the consumer takes columns, columnar producer output crosses
+	// the boundary as columnar frames: same-partition frames continue
+	// synchronously, cross-partition frames ride the runtime's columnar
+	// outbox (HandlersCol marks this entry columnar on every partition,
+	// since the clones are structurally identical).
+	if colDown, ok := down.(exec.ColBatchSink); ok && !disableColumnar {
+		exch.RouteCol(func(dst int, b *types.ColBatch) {
+			if dst == p {
+				colDown.PushColBatch(b)
+				return
+			}
+			pt.sendCol(p, dst, pt.entryOffset+id, b)
+		})
+	}
+	return exch, nil
 }
 
 // LowerPartitioned compiles plan into parts per-partition pipelines, each
@@ -131,8 +147,14 @@ func LowerPartitioned(parts int, cost *exec.CostModel, plan algebra.Plan, merge 
 	}
 	// Every leaf must have a driver-side partition key: a relation whose
 	// consumer is not a join/group boundary (single-relation plans, scans
-	// under a bare projection) cannot be scattered meaningfully.
+	// under a bare projection) cannot be scattered meaningfully. Sorted so
+	// a plan with several keyless leaves reports the same one every run.
+	names := make([]string, 0, len(pt.Trees[0].Entry))
 	for name := range pt.Trees[0].Entry {
+		names = append(names, name)
+	}
+	slices.Sort(names)
+	for _, name := range names {
 		if _, ok := pt.LeafKeys[name]; !ok {
 			return nil, fmt.Errorf("core: relation %q has no partition key (plan not partitionable)", name)
 		}
@@ -141,11 +163,15 @@ func LowerPartitioned(parts int, cost *exec.CostModel, plan algebra.Plan, merge 
 }
 
 // Bind connects the tree's cross-partition exchanges to the parallel
-// runtime: send ships rows from one partition's worker to another's entry,
-// and leafEntries is the number of driver-side leaf entries preceding the
-// boundary entries in the runtime's entry numbering.
-func (pt *ParTree) Bind(send func(from, dst, entry int, rows []types.Tuple), leafEntries int) {
+// runtime: send ships rows from one partition's worker to another's
+// entry, sendCol ships columnar frames (only consulted for boundaries
+// whose consumer takes columns — pass nil when the runtime has no
+// columnar transport), and leafEntries is the number of driver-side leaf
+// entries preceding the boundary entries in the runtime's entry
+// numbering.
+func (pt *ParTree) Bind(send func(from, dst, entry int, rows []types.Tuple), sendCol func(from, dst, entry int, b *types.ColBatch), leafEntries int) {
 	pt.send = send
+	pt.sendCol = sendCol
 	pt.entryOffset = leafEntries
 }
 
@@ -179,6 +205,28 @@ func (pt *ParTree) Handlers(rels []string) ([][]func([]types.Tuple), error) {
 		out[p] = hs
 	}
 	return out, nil
+}
+
+// HandlersCol builds the runtime's per-partition columnar entry table
+// (same entry numbering as Handlers; nil marks a row-only entry). Leaf
+// entries stay row-only — the driver's read loop produces rows, and the
+// leaf capture needs them anyway — while every boundary whose consumer
+// takes columns becomes a columnar entry, matching the RouteCol routes
+// installed at lowering.
+func (pt *ParTree) HandlersCol(rels []string) [][]func(*types.ColBatch) {
+	out := make([][]func(*types.ColBatch), pt.P)
+	for p := 0; p < pt.P; p++ {
+		hs := make([]func(*types.ColBatch), len(rels), len(rels)+pt.boundaries)
+		for b := 0; b < pt.boundaries; b++ {
+			if cs, ok := pt.entrySinks[p][b].(exec.ColBatchSink); ok && !disableColumnar {
+				hs = append(hs, cs.PushColBatch)
+			} else {
+				hs = append(hs, nil)
+			}
+		}
+		out[p] = hs
+	}
+	return out
 }
 
 // FinishSteps returns the broadcast finish-round count.

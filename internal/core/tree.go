@@ -63,6 +63,14 @@ type Tree struct {
 	par *parLowering
 }
 
+// disableColumnar is a test hook: when set, lowering skips every columnar
+// entry point (leaf EntryCol wiring, boundary RouteCol routes, columnar
+// runtime handlers), forcing the whole pipeline onto the row-batch paths.
+// The equivalence pins run each strategy both ways and require
+// byte-identical results — the columnar layout is an execution detail,
+// never a semantic one.
+var disableColumnar bool
+
 // blockingPreAgg adapts an AggTable into a traditional (blocking)
 // pre-aggregation operator feeding a parent sink at finish time.
 type blockingPreAgg struct {
@@ -71,9 +79,7 @@ type blockingPreAgg struct {
 }
 
 func (b *blockingPreAgg) flush() {
-	for _, t := range b.table.EmitPartial() {
-		b.out.Push(t)
-	}
+	b.table.EmitPartialTo(b.out)
 }
 
 // Lower compiles an optimizer plan tree into an executable push pipeline
@@ -97,10 +103,11 @@ func Lower(ctx *exec.Context, plan algebra.Plan, out exec.Sink) (*Tree, error) {
 
 // teeSink duplicates a join's output into its materialization buffer
 // (stitch-up reuse, §3.4.2) while forwarding it downstream; batches are
-// forwarded as batches.
+// forwarded as batches, columnar frames as columnar frames.
 type teeSink struct {
 	buf *state.List
 	out exec.Sink
+	cr  exec.ColRows
 }
 
 // Push implements exec.Sink.
@@ -115,6 +122,22 @@ func (s *teeSink) PushBatch(ts []types.Tuple) {
 	exec.PushAll(s.out, ts)
 }
 
+// PushColBatch implements exec.ColBatchSink: the batch materializes once
+// (arena-bulk, retention-safe rows) for the stitch-up buffer, and the
+// columns themselves forward downstream untouched.
+func (s *teeSink) PushColBatch(b *types.ColBatch) {
+	if b.Len() == 0 {
+		return
+	}
+	rows := s.cr.Rows(b)
+	s.buf.InsertBatch(rows)
+	if cs, ok := s.out.(exec.ColBatchSink); ok {
+		cs.PushColBatch(b)
+		return
+	}
+	exec.PushAll(s.out, rows)
+}
+
 func (t *Tree) build(p algebra.Plan, out exec.Sink) error {
 	switch v := p.(type) {
 	case *algebra.ScanPlan:
@@ -126,7 +149,7 @@ func (t *Tree) build(p algebra.Plan, out exec.Sink) error {
 		if bs, ok := out.(exec.BatchSink); ok {
 			t.EntryBatch[name] = bs.PushBatch
 		}
-		if cs, ok := out.(exec.ColBatchSink); ok {
+		if cs, ok := out.(exec.ColBatchSink); ok && !disableColumnar {
 			t.EntryCol[name] = cs.PushColBatch
 		}
 		return nil

@@ -47,3 +47,30 @@ func BenchmarkStreamDelivery(b *testing.B) {
 		s.Close()
 	}
 }
+
+// BenchmarkFirstRow measures time-to-first-row: one op opens a stream
+// over the SPJ fixture, pulls exactly one row through the cursor, and
+// closes. The serial variant flushes at monitor polls (PR 5); the
+// parallel variant exercises the order-releasing partition merge (PR 9),
+// which streams the watermark partition's prefix at every quiesced poll
+// instead of holding all rows to the phase barrier.
+func BenchmarkFirstRow(b *testing.B) {
+	run := func(b *testing.B, opts ...Option) {
+		e, q := spjEngine(1<<15, nil)
+		opts = append([]Option{WithStrategy(core.Static), WithPollEvery(256)}, opts...)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s, err := e.Stream(context.Background(), q, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, ok := s.Next(); !ok {
+				b.Fatal("no first row")
+			}
+			s.Close()
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b) })
+	b.Run("P=4", func(b *testing.B) { run(b, WithPartitions(4)) })
+}

@@ -160,7 +160,9 @@ type AggTable struct {
 	rowView    types.Tuple
 	// hasArgs records whether any aggregate has an argument evaluator
 	// (COUNT-only tables skip row materialization on the columnar path).
-	hasArgs  bool
+	hasArgs bool
+	// emitBuf is the reused columnar delivery batch of EmitPartialTo.
+	emitBuf  *types.ColBatch
 	counters stats.OpCounters
 }
 
@@ -360,6 +362,32 @@ func (a *AggTable) EmitPartial() []types.Tuple {
 		out = append(out, t)
 	}
 	return out
+}
+
+// EmitPartialTo delivers EmitPartial's group revisions downstream,
+// columnar when the sink accepts columns: the freshly built partial rows
+// transpose into a reused batch in emitFlushLen frames, so a partitioned
+// pre-aggregate's flush feeds the boundary exchange's vectorized entry
+// instead of fanning out per-group Push calls. Row order, counters, and
+// charges are identical to pushing EmitPartial's rows one at a time.
+func (a *AggTable) EmitPartialTo(out Sink) {
+	rows := a.EmitPartial()
+	cs, ok := out.(ColBatchSink)
+	if !ok {
+		PushAll(out, rows)
+		return
+	}
+	w := a.partialSchema.Len()
+	if a.emitBuf == nil || a.emitBuf.Width() != w {
+		a.emitBuf = types.NewColBatch(w)
+	}
+	for len(rows) > 0 {
+		n := min(len(rows), emitFlushLen)
+		a.emitBuf.AppendRows(rows[:n])
+		cs.PushColBatch(a.emitBuf)
+		a.emitBuf.Reset()
+		rows = rows[n:]
+	}
 }
 
 // Pseudogroup converts raw tuples into partial-layout singletons: "a

@@ -38,12 +38,17 @@ type colDelivery struct {
 
 // materialize converts b into retention-safe row tuples. The returned
 // slice obeys the batch contract (reused across calls; the tuples
-// themselves are arena-backed and live forever).
+// themselves are arena-backed and live forever). The whole batch's value
+// storage is carved in one arena allocation and the tuples are
+// capacity-capped sub-slices of it, so the steady-state cost is one slab
+// amortization instead of a per-row arena bump.
 func (d *colDelivery) materialize(b *types.ColBatch) []types.Tuple {
 	w := b.Width()
+	n := b.Len()
 	rows := d.rows[:0]
-	for i, n := 0, b.Len(); i < n; i++ {
-		t := d.arena.alloc(w)
+	flat := d.arena.alloc(n * w)
+	for i := 0; i < n; i++ {
+		t := flat[i*w : (i+1)*w : (i+1)*w]
 		b.ReadRow(t, i)
 		rows = append(rows, t)
 	}
@@ -72,6 +77,11 @@ type ColRows struct{ d colDelivery }
 
 // Rows converts b, reusing internal storage across calls.
 func (c *ColRows) Rows(b *types.ColBatch) []types.Tuple { return c.d.materialize(b) }
+
+// PushColAll delivers a columnar batch to any sink: the columnar fast
+// path when the sink advertises one, an arena-materialized row batch
+// otherwise.
+func (c *ColRows) PushColAll(s Sink, b *types.ColBatch) { c.d.PushColAll(s, b) }
 
 // --- HashJoin ---------------------------------------------------------
 
@@ -108,10 +118,12 @@ func (j *HashJoin) PushLeftColBatch(b *types.ColBatch) {
 	j.hashVec = types.HashKeys(j.hashVec, b, j.leftKey)
 	rows := j.colIn.materialize(b)
 	j.leftHT.InsertHashedBatch(j.hashVec, rows)
-	j.ctx.Clock.Charge(float64(n) * j.ctx.Cost.HashInsert)
 	if j.Style == Pipelined || j.rightDone {
-		j.probeBatch(false, j.hashVec, rows, j.leftKey)
+		j.probeBatch(false, b, j.hashVec, rows, j.leftKey)
 	} else {
+		for range rows {
+			j.ctx.Clock.Charge(j.ctx.Cost.HashInsert)
+		}
 		j.pendingProbes = append(j.pendingProbes, rows...)
 	}
 	j.endBatch()
@@ -136,39 +148,84 @@ func (j *HashJoin) PushRightColBatch(b *types.ColBatch) {
 	j.hashVec = types.HashKeys(j.hashVec, b, j.rightKey)
 	rows := j.colIn.materialize(b)
 	j.rightHT.InsertHashedBatch(j.hashVec, rows)
-	j.ctx.Clock.Charge(float64(n) * j.ctx.Cost.HashInsert)
 	if j.Style == Pipelined {
-		j.probeBatch(true, j.hashVec, rows, j.rightKey)
+		j.probeBatch(true, b, j.hashVec, rows, j.rightKey)
+	} else {
+		for range rows {
+			j.ctx.Clock.Charge(j.ctx.Cost.HashInsert)
+		}
 	}
 	j.endBatch()
 }
 
 // probeBatch probes the opposite table once per batch row: hashes[i] and
-// rows[i]'s keyCols form row i's probe. Chain-walk work is charged for
-// the whole batch (the same per-probe 1+chainLen accounting, summed), and
-// matches emit in row order through the shared emitter. probedLeft says
-// the probed table is the left one, so matches are the left operand.
-func (j *HashJoin) probeBatch(probedLeft bool, hashes []uint64, rows []types.Tuple, keyCols []int) {
+// rows[i]'s keyCols form row i's probe. The batch's rows were already
+// bulk-inserted into their own table, but insert and chain-walk work is
+// charged per row in the row path's exact interleave (insert, probe
+// work, then that row's emit Moves) — float summation order is
+// observable, and the equivalence pins require byte-identical clocks.
+// The probed table does not change during the batch, so charging rows as
+// the probe driver reaches them is exact. Matches emit in row order;
+// probedLeft says the probed table is the left one, so matches are the
+// left operand.
+//
+// With a columnar downstream, output is built directly from the probe
+// hits: the hit emitter gathers probe-side values column-at-a-time out of
+// b's dense storage and spreads match tuples into the output columns — no
+// output row is ever materialized, and the reused output batch means the
+// steady-state emit allocates nothing. Otherwise hits emit through the
+// shared row emitter exactly as before.
+//
+//adp:hotpath gated by BenchmarkPipelinedJoinPush/columnar (scripts/check_allocs.sh)
+func (j *HashJoin) probeBatch(probedLeft bool, b *types.ColBatch, hashes []uint64, rows []types.Tuple, keyCols []int) {
 	table := j.rightHT
 	if probedLeft {
 		table = j.leftHT
 	}
-	work := float64(len(rows))
-	for _, h := range hashes {
-		work += float64(table.ChainLenHashed(h))
+	// chargeThrough accounts rows [next, i] the moment the probe driver
+	// reaches row i (or, after the sweep, the hitless tail): one insert
+	// plus 1+chainLen probe work each, exactly like the row path.
+	next := 0
+	chargeThrough := func(i int) {
+		for ; next <= i; next++ {
+			j.ctx.Clock.Charge(j.ctx.Cost.HashInsert)
+			work := 1.0 + float64(table.ChainLenHashed(hashes[next]))
+			j.ctx.Clock.Charge(work * j.ctx.Cost.HashProbe)
+		}
 	}
-	j.ctx.Clock.Charge(work * j.ctx.Cost.HashProbe)
+	if j.colOut != nil {
+		// Output layout is left ++ right: when the probed table is the
+		// left one, b holds right-side rows and matches are left tuples.
+		probeOff, matchOff := 0, j.leftWidth
+		if probedLeft {
+			probeOff, matchOff = j.leftWidth, 0
+		}
+		j.hits.begin(j.schema.Len())
+		table.ProbeHashedBatch(hashes, rows, keyCols, func(i int, match types.Tuple) bool {
+			chargeThrough(i)
+			j.ctx.Clock.Charge(j.ctx.Cost.Move)
+			j.counters.Out++
+			j.hits.add(j.colOut, b, probeOff, matchOff, int32(i), match)
+			return true
+		})
+		chargeThrough(len(rows) - 1)
+		j.hits.flush(j.colOut, b, probeOff, matchOff)
+		return
+	}
 	if probedLeft {
 		table.ProbeHashedBatch(hashes, rows, keyCols, func(i int, lt types.Tuple) bool {
+			chargeThrough(i)
 			j.emit(lt, rows[i])
 			return true
 		})
 	} else {
 		table.ProbeHashedBatch(hashes, rows, keyCols, func(i int, rt types.Tuple) bool {
+			chargeThrough(i)
 			j.emit(rows[i], rt)
 			return true
 		})
 	}
+	chargeThrough(len(rows) - 1)
 }
 
 // --- Filter -----------------------------------------------------------
@@ -216,7 +273,11 @@ func (p *Project) PushColBatch(b *types.ColBatch) {
 	}
 	p.counters.In += int64(n)
 	p.counters.Out += int64(n)
-	p.ctx.Clock.Charge(float64(n) * p.ctx.Cost.Move)
+	for i := 0; i < n; i++ {
+		// Per-row, not bulk: float summation order is observable and the
+		// equivalence pins require byte-identical clocks across layouts.
+		p.ctx.Clock.Charge(p.ctx.Cost.Move)
+	}
 	p.adapter.AdaptCols(p.colScratch, b)
 	p.del.PushColAll(p.out, p.colScratch)
 }

@@ -1,0 +1,98 @@
+package exec
+
+import (
+	"github.com/tukwila/adp/internal/types"
+)
+
+// Columnar emit machinery: BatchEmitter's siblings for operators whose
+// downstream sink accepts columns (ColBatchSink). Where BatchEmitter
+// carves concatenated row tuples from a slab arena — storage that must
+// live forever because downstream may retain the rows — the columnar
+// emitters append output values into a single reused ColBatch and deliver
+// it under the batch contract (valid for the duration of the call), so a
+// join's steady-state emit path allocates nothing at all. Delivery order
+// is always the emit order, and frames flush at emitFlushLen exactly like
+// the row emitter, so downstream sees the same rows in the same order in
+// the same-sized chunks.
+
+// ColBatchEmitter buffers concatenated (left ++ right) outputs as columns.
+// Begin(width) arms it for one input batch; EmitConcat appends l ++ r
+// column-at-a-time; Flush delivers the remainder and disarms.
+type ColBatchEmitter struct {
+	active bool
+	buf    *types.ColBatch
+}
+
+// Begin arms the emitter for an output width (lazily (re)allocating the
+// reused batch when the width changes).
+func (e *ColBatchEmitter) Begin(width int) {
+	if e.buf == nil || e.buf.Width() != width {
+		e.buf = types.NewColBatch(width)
+	}
+	e.active = true
+}
+
+// EmitConcat appends the output row lt ++ rt, delivering a full frame
+// downstream mid-batch when the buffer reaches emitFlushLen.
+func (e *ColBatchEmitter) EmitConcat(out ColBatchSink, lt, rt types.Tuple) {
+	e.buf.AppendConcat(lt, rt)
+	if e.buf.Len() >= emitFlushLen {
+		e.deliver(out)
+	}
+}
+
+// Flush ends the batch, delivering any buffered outputs downstream.
+func (e *ColBatchEmitter) Flush(out ColBatchSink) {
+	e.active = false
+	if e.buf != nil && e.buf.Len() > 0 {
+		e.deliver(out)
+	}
+}
+
+func (e *ColBatchEmitter) deliver(out ColBatchSink) {
+	out.PushColBatch(e.buf)
+	e.buf.Reset()
+}
+
+// hitEmitter is the hash join's columnar probe-hit gatherer: while a
+// columnar batch probes the build table, hits accumulate as (probe row
+// index, matched build tuple) pairs, and flushes gather them into the
+// reused output batch in one AppendHits — probe-side values move
+// column-at-a-time straight from the input batch's dense storage into the
+// output columns, so no output row is ever materialized. Flushes happen
+// at emitFlushLen and at the end of the probe (before the input batch is
+// invalidated), preserving hit order.
+type hitEmitter struct {
+	sel     []int32
+	matches []types.Tuple
+	buf     *types.ColBatch
+}
+
+// begin readies the reused output batch for an output width.
+func (e *hitEmitter) begin(width int) {
+	if e.buf == nil || e.buf.Width() != width {
+		e.buf = types.NewColBatch(width)
+	}
+}
+
+// add buffers one hit: probe row i of the current input batch matched the
+// build-side tuple match.
+func (e *hitEmitter) add(out ColBatchSink, src *types.ColBatch, probeOff, matchOff int, i int32, match types.Tuple) {
+	e.sel = append(e.sel, i)
+	e.matches = append(e.matches, match)
+	if len(e.sel) >= emitFlushLen {
+		e.flush(out, src, probeOff, matchOff)
+	}
+}
+
+// flush gathers the buffered hits into the output batch and delivers it.
+func (e *hitEmitter) flush(out ColBatchSink, src *types.ColBatch, probeOff, matchOff int) {
+	if len(e.sel) == 0 {
+		return
+	}
+	e.buf.AppendHits(src, e.sel, probeOff, e.matches, matchOff)
+	clear(e.matches)
+	e.sel, e.matches = e.sel[:0], e.matches[:0]
+	out.PushColBatch(e.buf)
+	e.buf.Reset()
+}

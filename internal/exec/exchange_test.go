@@ -104,15 +104,32 @@ func TestExchangeSteadyStateAllocs(t *testing.T) {
 
 // BenchmarkExchangePartition tracks the exchange partition path — the
 // per-batch scatter cost the parallel driver pays per source run. One op
-// routes one 256-row batch across 4 partitions (CI budget: ≤ 2 allocs/op).
+// routes one 256-row batch across 4 partitions (CI budget: ≤ 2 allocs/op
+// per variant). The rows variant scatters a row batch; the columnar
+// variant scatters a columnar frame through the selection-vector Gather
+// path (no transpose at the boundary).
 func BenchmarkExchangePartition(b *testing.B) {
 	rows := randTuples(256, 64, 11, rRow)
-	var n int
-	ex := NewExchange(4, []int{0}, func(_ int, ts []types.Tuple) { n += len(ts) })
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ex.PushBatch(rows)
-	}
-	_ = n
+	b.Run("rows", func(b *testing.B) {
+		var n int
+		ex := NewExchange(4, []int{0}, func(_ int, ts []types.Tuple) { n += len(ts) })
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ex.PushBatch(rows)
+		}
+		_ = n
+	})
+	b.Run("columnar", func(b *testing.B) {
+		cb := types.FromRows(rows, 2)
+		var n int
+		ex := NewExchange(4, []int{0}, func(_ int, ts []types.Tuple) { n += len(ts) })
+		ex.RouteCol(func(_ int, fb *types.ColBatch) { n += fb.Len() })
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ex.PushColBatch(cb)
+		}
+		_ = n
+	})
 }

@@ -90,6 +90,14 @@ type HashJoin struct {
 	hashVec []uint64
 	colIn   colDelivery
 
+	// Columnar-emit scratch: colOut caches the one downstream type
+	// assertion (nil when the sink cannot take columns), hits gathers
+	// columnar probe hits into the reused output batch, and leftWidth
+	// locates the left/right halves of the output layout.
+	colOut    ColBatchSink
+	hits      hitEmitter
+	leftWidth int
+
 	counters stats.OpCounters
 }
 
@@ -99,13 +107,15 @@ type HashJoin struct {
 // (left ++ right) tuples.
 func NewHashJoin(ctx *Context, style JoinStyle, leftSchema, rightSchema *types.Schema, leftKey, rightKey []int, out Sink) *HashJoin {
 	j := &HashJoin{
-		Style:    style,
-		ctx:      ctx,
-		out:      out,
-		leftKey:  leftKey,
-		rightKey: rightKey,
-		schema:   leftSchema.Concat(rightSchema),
+		Style:     style,
+		ctx:       ctx,
+		out:       out,
+		leftKey:   leftKey,
+		rightKey:  rightKey,
+		schema:    leftSchema.Concat(rightSchema),
+		leftWidth: leftSchema.Len(),
 	}
+	j.colOut, _ = out.(ColBatchSink)
 	if style == NestedLoops {
 		j.leftList = state.NewList(leftSchema)
 		j.rightList = state.NewList(rightSchema)

@@ -40,13 +40,15 @@ const (
 )
 
 // parMsg is one unit of work on a worker inbox: a finish step broadcast
-// (step >= 0) or a data sub-batch for one entry point.
+// (step >= 0) or a data sub-batch — row-major or columnar — for one entry
+// point.
 type parMsg struct {
 	step    int // -1 = data message, >= 0 = run finisher step
 	entry   int
 	rows    []types.Tuple
-	buf     *[]types.Tuple // pooled backing storage, recycled after processing
-	arrival float64        // sender's virtual time; receiver advances to it
+	buf     *[]types.Tuple  // pooled backing storage, recycled after processing
+	col     *types.ColBatch // columnar payload (pooled frame; nil for row payloads)
+	arrival float64         // sender's virtual time; receiver advances to it
 }
 
 // ParallelDriver executes one lowered, partitioned plan: the serial read
@@ -61,8 +63,15 @@ type ParallelDriver struct {
 	// handlers[p][e] delivers a data sub-batch into partition p's entry e.
 	// Entry numbering is the caller's (leaf entries then boundaries).
 	handlers [][]func([]types.Tuple)
-	finish   func(part, step int)
-	steps    int
+	// colHandlers[p][e], when bound (BindCol), delivers a columnar frame
+	// into entry e; colEntry[e] marks the entries it covers. A columnar
+	// entry carries ALL its traffic — frames and row batches alike — in
+	// one columnar outbox buffer per destination, so per-(dst,entry)
+	// delivery stays FIFO no matter which payload kind the producer emits.
+	colHandlers [][]func(*types.ColBatch)
+	colEntry    []bool
+	finish      func(part, step int)
+	steps       int
 
 	inbox   []chan parMsg
 	workers []*parWorker
@@ -71,6 +80,7 @@ type ParallelDriver struct {
 	inflight sync.WaitGroup
 	joined   sync.WaitGroup // worker goroutines
 	pool     sync.Pool      // *[]types.Tuple message buffers
+	colPool  sync.Pool      // *types.ColBatch message frames
 
 	read    *Driver
 	started bool
@@ -83,11 +93,13 @@ type ParallelDriver struct {
 }
 
 // parWorker owns partition p: its inbox processing and its outbox
-// buffers (out[dst][entry], unused for dst == p).
+// buffers (out[dst][entry] for row entries, colOut[dst][entry] for
+// columnar entries; both unused for dst == p).
 type parWorker struct {
-	pd  *ParallelDriver
-	p   int
-	out [][][]types.Tuple
+	pd     *ParallelDriver
+	p      int
+	out    [][][]types.Tuple
+	colOut [][]*types.ColBatch
 }
 
 // NewParallelDriver creates a driver over per-partition contexts (one per
@@ -112,6 +124,24 @@ func (pd *ParallelDriver) Bind(handlers [][]func([]types.Tuple), finish func(par
 	pd.steps = steps
 }
 
+// BindCol installs the per-partition columnar entry handlers (same entry
+// numbering and shape as Bind's; nil marks an entry as row-only). The
+// entries with a handler become columnar entries: every payload staged to
+// them rides columnar frames — row batches transpose into the frame at
+// the sender — which keeps each (dst, entry) stream single-buffered and
+// FIFO. Optional; call after Bind and before Run. Entry kinds are derived
+// from partition 0 (all partitions are clones).
+func (pd *ParallelDriver) BindCol(handlers [][]func(*types.ColBatch)) {
+	pd.colHandlers = handlers
+	pd.colEntry = nil
+	if len(handlers) > 0 {
+		pd.colEntry = make([]bool, len(handlers[0]))
+		for e, h := range handlers[0] {
+			pd.colEntry[e] = h != nil
+		}
+	}
+}
+
 // LeafScatter returns the driver-side exchange for one source leaf: a
 // batch-capable sink that hash-partitions post-filter source rows on
 // keyCols and ships each partition's share to its worker, stamped with
@@ -131,7 +161,16 @@ func (pd *ParallelDriver) StageSend(from, dst, entry int, rows []types.Tuple) {
 		pd.handlers[from][entry](rows)
 		return
 	}
+	if len(rows) == 0 {
+		return
+	}
 	w := pd.workers[from]
+	if entry < len(pd.colEntry) && pd.colEntry[entry] {
+		// Columnar entry: row payloads transpose into the shared columnar
+		// slot so the (dst, entry) stream stays in emit order.
+		w.colSlot(dst, entry, len(rows[0])).AppendRows(rows)
+		return
+	}
 	slot := w.out[dst][entry]
 	if len(slot) == 0 {
 		// The slot's credit is released when the packed message is
@@ -139,6 +178,36 @@ func (pd *ParallelDriver) StageSend(from, dst, entry int, rows []types.Tuple) {
 		pd.inflight.Add(1)
 	}
 	w.out[dst][entry] = append(slot, rows...)
+}
+
+// StageSendCol is StageSend's columnar sibling: the frame's columns are
+// bulk-appended into the sender's columnar outbox slot (the caller's
+// exchange reuses the frame immediately). Only call it for entries bound
+// through BindCol, from partition from's worker goroutine.
+func (pd *ParallelDriver) StageSendCol(from, dst, entry int, b *types.ColBatch) {
+	if dst == from {
+		pd.colHandlers[from][entry](b)
+		return
+	}
+	if b.Len() == 0 {
+		return
+	}
+	pd.workers[from].colSlot(dst, entry, b.Width()).Append(b)
+}
+
+// colSlot returns the columnar outbox slot for (dst, entry), lazily
+// allocating it and taking the slot's inflight credit when it transitions
+// from empty (released when the packed frame is processed).
+func (w *parWorker) colSlot(dst, entry, width int) *types.ColBatch {
+	slot := w.colOut[dst][entry]
+	if slot == nil {
+		slot = types.NewColBatch(width)
+		w.colOut[dst][entry] = slot
+	}
+	if slot.Len() == 0 {
+		w.pd.inflight.Add(1)
+	}
+	return slot
 }
 
 // sendData ships a data sub-batch from the driver goroutine to a worker,
@@ -159,6 +228,16 @@ func (pd *ParallelDriver) getBuf() *[]types.Tuple {
 	return &b
 }
 
+// getColBuf returns a pooled columnar frame of the given width (a pooled
+// frame of a different width is rare — mixed-width boundaries — and is
+// simply dropped for a fresh one).
+func (pd *ParallelDriver) getColBuf(width int) *types.ColBatch {
+	if b, ok := pd.colPool.Get().(*types.ColBatch); ok && b.Width() == width {
+		return b
+	}
+	return types.NewColBatch(width)
+}
+
 // start launches the workers (idempotent).
 func (pd *ParallelDriver) start() {
 	if pd.started {
@@ -174,10 +253,12 @@ func (pd *ParallelDriver) start() {
 	for p := 0; p < pd.parts; p++ {
 		pd.inbox[p] = make(chan parMsg, parInboxCap)
 		out := make([][][]types.Tuple, pd.parts)
+		colOut := make([][]*types.ColBatch, pd.parts)
 		for d := range out {
 			out[d] = make([][]types.Tuple, entries)
+			colOut[d] = make([]*types.ColBatch, entries)
 		}
-		pd.workers[p] = &parWorker{pd: pd, p: p, out: out}
+		pd.workers[p] = &parWorker{pd: pd, p: p, out: out, colOut: colOut}
 	}
 	for p := 0; p < pd.parts; p++ {
 		pd.joined.Add(1)
@@ -310,6 +391,13 @@ func (w *parWorker) handle(m parMsg) {
 		return
 	}
 	pd.ctxs[w.p].Clock.AdvanceTo(m.arrival)
+	if m.col != nil {
+		pd.colHandlers[w.p][m.entry](m.col)
+		m.col.Reset()
+		pd.colPool.Put(m.col)
+		pd.inflight.Done()
+		return
+	}
 	pd.handlers[w.p][m.entry](m.rows)
 	if m.buf != nil {
 		clear(m.rows)
@@ -330,11 +418,14 @@ func (w *parWorker) flush() {
 				continue
 			}
 			for e := range w.out[dst] {
-				if len(w.out[dst][e]) == 0 {
-					continue
+				if len(w.out[dst][e]) > 0 {
+					pending = true
+					w.sendSlot(dst, e)
 				}
-				pending = true
-				w.sendSlot(dst, e)
+				if cs := w.colOut[dst][e]; cs != nil && cs.Len() > 0 {
+					pending = true
+					w.sendColSlot(dst, e)
+				}
 			}
 		}
 		if !pending {
@@ -357,6 +448,29 @@ func (w *parWorker) sendSlot(dst, entry int) {
 	// The slot's inflight credit transfers to the message; the receiver
 	// releases it after processing.
 	m := parMsg{step: -1, entry: entry, rows: *buf, buf: buf, arrival: pd.ctxs[w.p].Clock.Now}
+	w.send(dst, m)
+}
+
+// sendColSlot packs one columnar outbox slot into a pooled frame and
+// sends it (same liveness discipline as sendSlot: the sender services its
+// own inbox while the destination is full).
+func (w *parWorker) sendColSlot(dst, entry int) {
+	pd := w.pd
+	slot := w.colOut[dst][entry]
+	frame := pd.getColBuf(slot.Width())
+	frame.Append(slot)
+	slot.Reset()
+	// The slot's inflight credit transfers to the frame; the receiver
+	// releases it after processing.
+	w.send(dst, parMsg{step: -1, entry: entry, col: frame, arrival: pd.ctxs[w.p].Clock.Now})
+}
+
+// send delivers m to dst's inbox, servicing this worker's own inbox while
+// the destination is full — the receive keeps the system live (no
+// send-cycle deadlock) and is safe because flush only runs between
+// messages, never inside an operator.
+func (w *parWorker) send(dst int, m parMsg) {
+	pd := w.pd
 	for {
 		select {
 		case pd.inbox[dst] <- m:
@@ -369,27 +483,78 @@ func (w *parWorker) sendSlot(dst, entry int) {
 	}
 }
 
-// PartitionMerge is the deterministic ordered merge sink at the root of a
-// partitioned plan: partition p's root output accumulates in its own
+// PartitionMerge is the order-releasing merge sink at the root of a
+// partitioned plan. Partition p's root output accumulates in its own
 // buffer (append order — deterministic whenever the partition's input
-// order is), and Drain concatenates the buffers downstream in ascending
-// partition order. With cross-partition repartitioning in the plan the
-// inter-partition interleaving is scheduling-dependent, so the merged
-// stream is guaranteed deterministic as a per-partition-ordered multiset,
-// not as a global sequence.
+// order is), and the merged global order is the concatenation of the
+// partition sequences in ascending partition order — exactly what the old
+// phase-end Drain delivered. The watermark protocol releases prefixes of
+// that order early: a partition buffer only ever appends, so at any
+// quiescent point the lowest unreleased partition's buffered rows are a
+// stable prefix of its final sequence. ReleasePrefix (called at monitor
+// polls) streams that prefix downstream mid-phase; partitions above the
+// watermark hold until every lower partition is complete, so the total
+// order never changes. Drain marks all partitions complete and releases
+// the remainder. With cross-partition repartitioning in the plan the
+// within-partition order is scheduling-dependent, so the merged stream is
+// guaranteed deterministic as a per-partition-ordered multiset, not as a
+// global sequence.
+//
+// Buffers are columnar: root frames from a columnar pipeline bulk-append
+// column-wise with no transpose, and release hands the buffered columns
+// downstream as ColBatch views — the root boundary is the pipeline's
+// single transpose point, paid only by sinks that cannot take columns.
 type PartitionMerge struct {
 	bufs []*partitionBuf
+	next int // watermark: lowest partition not yet fully released
+	del  colDelivery
 }
 
-// partitionBuf buffers one partition's root output (it retains the
-// tuples, which the batch contract allows, but copies the slice headers).
-type partitionBuf struct{ rows []types.Tuple }
+// partitionBuf buffers one partition's root output as columns (values are
+// copied out of pushed tuples/frames, so transient columnar frames are
+// safe to buffer).
+type partitionBuf struct {
+	col      *types.ColBatch // lazily sized from the first push; nil after full release
+	released int             // buffered rows already delivered (resets when the buffer recycles)
+	sent     int             // rows ever delivered downstream (monotonic)
+	total    int             // rows ever buffered (survives the buffer's release)
+	complete bool
+	view     types.ColBatch // aliasing release window (SliceInto)
+}
 
 // Push implements Sink.
-func (b *partitionBuf) Push(t types.Tuple) { b.rows = append(b.rows, t) }
+func (b *partitionBuf) Push(t types.Tuple) {
+	if b.col == nil {
+		b.col = types.NewColBatch(len(t))
+	}
+	b.col.AppendRow(t)
+	b.total++
+}
 
 // PushBatch implements BatchSink.
-func (b *partitionBuf) PushBatch(ts []types.Tuple) { b.rows = append(b.rows, ts...) }
+func (b *partitionBuf) PushBatch(ts []types.Tuple) {
+	if len(ts) == 0 {
+		return
+	}
+	if b.col == nil {
+		b.col = types.NewColBatch(len(ts[0]))
+	}
+	b.col.AppendRows(ts)
+	b.total += len(ts)
+}
+
+// PushColBatch implements ColBatchSink (bulk column-wise copy).
+func (b *partitionBuf) PushColBatch(cb *types.ColBatch) {
+	n := cb.Len()
+	if n == 0 {
+		return
+	}
+	if b.col == nil {
+		b.col = types.NewColBatch(cb.Width())
+	}
+	b.col.Append(cb)
+	b.total += n
+}
 
 // NewPartitionMerge creates a merge over parts partitions.
 func NewPartitionMerge(parts int) *PartitionMerge {
@@ -403,22 +568,68 @@ func NewPartitionMerge(parts int) *PartitionMerge {
 // Sink returns partition p's root sink.
 func (m *PartitionMerge) Sink(p int) Sink { return m.bufs[p] }
 
-// Len returns the total number of buffered root tuples.
+// Len returns the total number of root tuples ever buffered (released
+// rows included).
 func (m *PartitionMerge) Len() int {
 	n := 0
 	for _, b := range m.bufs {
-		n += len(b.rows)
+		n += b.total
 	}
 	return n
 }
 
-// Drain delivers the buffered output downstream in partition order,
-// releasing the buffers. Call only after the pipeline has quiesced.
+// Released returns how many rows ReleasePrefix/Drain have delivered.
+func (m *PartitionMerge) Released() int {
+	n := 0
+	for _, b := range m.bufs {
+		n += b.sent
+	}
+	return n
+}
+
+// ReleasePrefix delivers the longest released-safe prefix of the merged
+// global order: the watermark partition's new rows (always safe — its
+// buffer is append-only), then, as partitions complete, everything behind
+// the advancing watermark. Fully released buffers are freed. Call only at
+// a quiescent point (rows mid-flight could otherwise still append behind
+// a released window).
+func (m *PartitionMerge) ReleasePrefix(out Sink) {
+	for m.next < len(m.bufs) {
+		b := m.bufs[m.next]
+		if b.col != nil && b.released < b.col.Len() {
+			n := b.col.Len()
+			b.col.SliceInto(&b.view, b.released, n)
+			m.del.PushColAll(out, &b.view)
+			b.sent += n - b.released
+			b.released = n
+		}
+		if !b.complete {
+			// Fully released and still open: recycle the buffer storage
+			// (subsequent appends extend the same partition sequence), so
+			// a long-streaming watermark partition holds only the
+			// unreleased window, not every row ever released.
+			if b.col != nil && b.released == b.col.Len() {
+				b.col.Reset()
+				b.released = 0
+			}
+			return
+		}
+		b.col = nil
+		m.next++
+	}
+}
+
+// Complete marks partition p's root output final (no further pushes), so
+// the watermark may advance past it on the next release.
+func (m *PartitionMerge) Complete(p int) { m.bufs[p].complete = true }
+
+// Drain marks every partition complete and releases the remainder
+// downstream in partition order. Call only after the pipeline has
+// quiesced; the total delivered sequence (earlier ReleasePrefix calls
+// included) is identical to a single phase-end drain.
 func (m *PartitionMerge) Drain(out Sink) {
 	for _, b := range m.bufs {
-		if len(b.rows) > 0 {
-			PushAll(out, b.rows)
-		}
-		b.rows = nil
+		b.complete = true
 	}
+	m.ReleasePrefix(out)
 }

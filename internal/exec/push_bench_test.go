@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/tukwila/adp/internal/algebra"
@@ -50,6 +51,67 @@ func BenchmarkPipelinedJoinPush(b *testing.B) {
 			j.PushRightColBatch(rbs[i])
 		}
 	})
+
+	// Wide-schema variants (12 columns per side, 24-column join output):
+	// the regime where layout matters most. The batch path pays one
+	// arena-backed 24-slot concat per emit; the columnar path gathers hit
+	// columns into reused output vectors and never forms the row.
+	wl, wr := wideSchemas(wideCols)
+	mkWide := func(n int) ([]types.Tuple, []types.Tuple) {
+		dom := int64(max(n/4, 4))
+		return randTuples(n, dom, 7, wideRow), randTuples(n, dom, 8, wideRow)
+	}
+	b.Run("batch-wide", func(b *testing.B) {
+		ls, rs := mkWide(b.N)
+		j := NewHashJoin(NewContext(), Pipelined, wl, wr, []int{0}, []int{0}, Discard)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += batch {
+			end := min(i+batch, b.N)
+			j.PushLeftBatch(ls[i:end])
+			j.PushRightBatch(rs[i:end])
+		}
+	})
+	b.Run("columnar-wide", func(b *testing.B) {
+		ls, rs := mkWide(b.N)
+		lbs := toColBatches(ls, batch)
+		rbs := toColBatches(rs, batch)
+		j := NewHashJoin(NewContext(), Pipelined, wl, wr, []int{0}, []int{0}, Discard)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := range lbs {
+			j.PushLeftColBatch(lbs[i])
+			j.PushRightColBatch(rbs[i])
+		}
+	})
+}
+
+// wideCols is the wide-schema width per join side (≥12 columns — the
+// payload-heavy regime the columnar layout targets).
+const wideCols = 12
+
+// wideSchemas builds two wideCols-column schemas (key first, then
+// payload columns).
+func wideSchemas(w int) (*types.Schema, *types.Schema) {
+	mk := func(prefix string) *types.Schema {
+		cols := make([]types.Column, w)
+		cols[0] = types.Column{Name: prefix + ".k", Kind: types.KindInt}
+		for i := 1; i < w; i++ {
+			cols[i] = types.Column{Name: fmt.Sprintf("%s.p%d", prefix, i), Kind: types.KindInt}
+		}
+		return types.NewSchema(cols...)
+	}
+	return mk("wl"), mk("wr")
+}
+
+// wideRow builds a wideCols-column tuple: join key then payload values.
+func wideRow(k, v int64) types.Tuple {
+	t := make(types.Tuple, wideCols)
+	t[0] = types.Int(k)
+	for i := 1; i < wideCols; i++ {
+		t[i] = types.Int(v + int64(i))
+	}
+	return t
 }
 
 // toColBatches transposes rows into columnar batches of the given size

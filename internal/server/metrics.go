@@ -23,6 +23,7 @@ type metrics struct {
 	planCacheMisses     atomic.Int64 // adp_plan_cache_misses_total
 	deadlinesExceeded   atomic.Int64 // adp_deadline_exceeded_total
 	budgetRowsExhausted atomic.Int64 // adp_row_budget_exhausted_total
+	firstRowMicros      atomic.Int64 // adp_query_first_row_micros (gauge: latest query)
 }
 
 // metricPoint is one rendered sample.
@@ -48,6 +49,7 @@ func (m *metrics) write(w io.Writer, gauges []metricPoint) {
 		{"adp_plan_cache_misses_total", "Queries that ran the optimizer and filled the plan cache.", "counter", m.planCacheMisses.Load()},
 		{"adp_deadline_exceeded_total", "Queries terminated by their execution deadline.", "counter", m.deadlinesExceeded.Load()},
 		{"adp_row_budget_exhausted_total", "Queries terminated by the per-query row budget.", "counter", m.budgetRowsExhausted.Load()},
+		{"adp_query_first_row_micros", "Time to first result row of the most recent row-producing query, in microseconds.", "gauge", m.firstRowMicros.Load()},
 	}
 	points = append(points, gauges...)
 	sort.Slice(points, func(i, j int) bool { return points[i].name < points[j].name })

@@ -265,6 +265,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
+	execStart := time.Now()
 	st, err := s.eng.Stream(ctx, q, engine.WithOptions(o))
 	if err != nil {
 		s.reject(w, WireError{Code: CodeInvalidRequest, HTTPStatus: http.StatusBadRequest,
@@ -337,6 +338,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		t, ok := st.Next()
 		if !ok {
 			break
+		}
+		if rows == 0 {
+			s.met.firstRowMicros.Store(time.Since(execStart).Microseconds())
 		}
 		buf = AppendRowFrame(buf, t)
 		rows++

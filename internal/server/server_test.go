@@ -472,10 +472,16 @@ func TestMetricsEndpoint(t *testing.T) {
 		"adp_queries_inflight 0",
 		"adp_draining 0",
 		"# TYPE adp_queries_total counter",
+		"# TYPE adp_query_first_row_micros gauge",
 	} {
 		if !strings.Contains(string(raw), want+"\n") {
 			t.Errorf("metrics missing %q\n%s", want, raw)
 		}
+	}
+	// The budget-killed query delivered rows, so the first-row gauge must
+	// have been observed (zero would mean it was never stored).
+	if strings.Contains(string(raw), "adp_query_first_row_micros 0\n") {
+		t.Errorf("first-row gauge never observed\n%s", raw)
 	}
 }
 

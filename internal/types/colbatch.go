@@ -67,6 +67,87 @@ func (b *ColBatch) AppendRows(ts []Tuple) {
 	}
 }
 
+// AppendConcat appends the row l ++ r, column-at-a-time: the join-emit
+// bridge that never materializes the concatenated row. l's values land in
+// columns [0, len(l)), r's in [len(l), len(l)+len(r)).
+func (b *ColBatch) AppendConcat(l, r Tuple) {
+	for j, v := range l {
+		b.cols[j] = append(b.cols[j], v)
+	}
+	w := len(l)
+	for j, v := range r {
+		b.cols[w+j] = append(b.cols[w+j], v)
+	}
+	b.n++
+}
+
+// Append appends every row of src (a bulk column-wise copy; widths must
+// match). The values are copied out of src's storage, so the appended
+// rows survive src's reuse.
+func (b *ColBatch) Append(src *ColBatch) {
+	for j := range b.cols {
+		b.cols[j] = append(b.cols[j], src.cols[j]...)
+	}
+	b.n += src.n
+}
+
+// Gather appends the selected rows of src in sel order. Like HashKeys it
+// runs column-at-a-time — each output column is one dense sweep over the
+// source column's storage — so a partition scatter gathers P sub-batches
+// without ever forming a row.
+//
+//adp:hotpath gated by BenchmarkExchangePartition (scripts/check_allocs.sh)
+func (b *ColBatch) Gather(src *ColBatch, sel []int32) {
+	for j := range b.cols {
+		sc := src.cols[j]
+		dc := b.cols[j]
+		for _, i := range sel {
+			dc = append(dc, sc[i])
+		}
+		b.cols[j] = dc
+	}
+	b.n += len(sel)
+}
+
+// AppendHits appends len(sel) join-output rows built from probe hits
+// without materializing any row: hit k joins probe row sel[k] of src with
+// the row-major matched tuple matches[k]. The probe side's columns gather
+// column-at-a-time into [probeOff, probeOff+src.Width()); each match-side
+// tuple spreads into [matchOff, matchOff+len(matches[k])). sel and
+// matches must have equal length.
+//
+//adp:hotpath gated by BenchmarkPipelinedJoinPush (scripts/check_allocs.sh)
+func (b *ColBatch) AppendHits(src *ColBatch, sel []int32, probeOff int, matches []Tuple, matchOff int) {
+	for j, sc := range src.cols {
+		dc := b.cols[probeOff+j]
+		for _, i := range sel {
+			dc = append(dc, sc[i])
+		}
+		b.cols[probeOff+j] = dc
+	}
+	for _, mt := range matches {
+		for j, v := range mt {
+			b.cols[matchOff+j] = append(b.cols[matchOff+j], v)
+		}
+	}
+	b.n += len(sel)
+}
+
+// SliceInto points dst at rows [lo, hi) of b without copying: dst's
+// columns alias b's storage, so dst is valid only until b's next append
+// or Reset and must not be appended to. The order-releasing partition
+// merge uses it to hand out stable prefixes of an append-only buffer.
+func (b *ColBatch) SliceInto(dst *ColBatch, lo, hi int) {
+	if cap(dst.cols) < len(b.cols) {
+		dst.cols = make([][]Value, len(b.cols))
+	}
+	dst.cols = dst.cols[:len(b.cols)]
+	for j := range b.cols {
+		dst.cols[j] = b.cols[j][lo:hi:hi]
+	}
+	dst.n = hi - lo
+}
+
 // FromRows builds a fresh columnar batch from a row batch (the row→column
 // bridge; hot paths reuse a ColBatch via Reset+AppendRows instead).
 func FromRows(ts []Tuple, width int) *ColBatch {
