@@ -7,6 +7,7 @@ import (
 	"github.com/tukwila/adp/internal/engine"
 	"github.com/tukwila/adp/internal/exec"
 	"github.com/tukwila/adp/internal/expr"
+	"github.com/tukwila/adp/internal/ivm"
 	"github.com/tukwila/adp/internal/opt"
 	"github.com/tukwila/adp/internal/server"
 	"github.com/tukwila/adp/internal/source"
@@ -308,7 +309,41 @@ type (
 	SourceFailedOver = core.SourceFailedOver
 	// SourceAbandoned reports a permanently failed source.
 	SourceAbandoned = core.SourceAbandoned
+	// MaintenanceStarted marks the hand-off from the initial run to
+	// incremental maintenance of a standing query.
+	MaintenanceStarted = core.MaintenanceStarted
+	// UpdateWatermark closes one standing-query update window.
+	UpdateWatermark = core.UpdateWatermark
 )
+
+// ---- Standing queries (incremental view maintenance) ---------------------
+
+// Delta is one signed change to a base relation: Sign +1 inserts Row,
+// -1 deletes one matching duplicate, at virtual time At.
+type Delta = source.Delta
+
+var (
+	// Ins builds an insert delta arriving at the given virtual time.
+	Ins = source.Ins
+	// Del builds a delete delta arriving at the given virtual time.
+	Del = source.Del
+)
+
+// Update is one signed revision to a standing query's result: an
+// assertion (Sign +1) or retraction (-1) of Row.
+type Update = ivm.Update
+
+// StandingQuery is a registered incremental view returned by
+// Engine.RegisterStanding: the query runs once over the base sources,
+// then signed deltas stream through the same lowered plan, revising the
+// result at watermark boundaries instead of recomputing from scratch.
+// Consume the initial result with Next/Rows, revisions with
+// NextUpdate/NextWindow/Updates, then Report (Report.Maintained holds
+// the current view) and always Close.
+type StandingQuery = engine.StandingQuery
+
+// StandingWindow is one watermark window of standing-query updates.
+type StandingWindow = engine.StandingWindow
 
 // ---- Direct operator access (advanced) ----------------------------------
 

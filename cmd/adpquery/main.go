@@ -18,6 +18,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
 	"github.com/tukwila/adp/internal/algebra"
@@ -47,15 +48,17 @@ func main() {
 		fault      = flag.String("fault", "", "inject faults into the largest source (transient|stall|dead|failover|random)")
 		faultSeed  = flag.Int64("fault-seed", 1, "seed for -fault random schedules")
 		partial    = flag.Bool("partial", false, "degrade to partial results when a source dies instead of failing")
+		standing   = flag.Bool("standing", false, "register a standing query: feed a seeded delta script and narrate signed updates + watermarks")
+		deltaN     = flag.Int("deltas", 200, "delta script length for -standing (half inserts, half deletes)")
 	)
 	flag.Parse()
-	if err := run(*query, *strategy, *sf, *seed, *skewed, *cards, *wireless, *preagg, *limit, *poll, *partitions, *stream, *fault, *faultSeed, *partial); err != nil {
+	if err := run(*query, *strategy, *sf, *seed, *skewed, *cards, *wireless, *preagg, *limit, *poll, *partitions, *stream, *fault, *faultSeed, *partial, *standing, *deltaN); err != nil {
 		fmt.Fprintln(os.Stderr, "adpquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(query, strategy string, sf float64, seed int64, skewed, cards, wireless bool, preagg string, limit, poll, partitions int, stream bool, fault string, faultSeed int64, partial bool) error {
+func run(query, strategy string, sf float64, seed int64, skewed, cards, wireless bool, preagg string, limit, poll, partitions int, stream bool, fault string, faultSeed int64, partial bool, standing bool, deltaN int) error {
 	q, err := workload.ByName(query)
 	if err != nil {
 		return err
@@ -101,6 +104,10 @@ func run(query, strategy string, sf float64, seed int64, skewed, cards, wireless
 		if err := injectFaults(eng, q, fault, faultSeed, &o); err != nil {
 			return err
 		}
+	}
+
+	if standing {
+		return runStanding(eng, q, o, limit, seed, deltaN)
 	}
 
 	var rep *core.Report
@@ -184,6 +191,36 @@ func injectFaults(eng *engine.Engine, q *algebra.Query, mode string, seed int64,
 	return nil
 }
 
+// printEvent renders one adaptive-execution event for the live
+// narrative shared by -stream and -standing runs.
+func printEvent(ev core.Event) {
+	switch e := ev.(type) {
+	case core.PhaseStarted:
+		fmt.Printf("[%8.3fs] phase %d started (P=%d): %s\n", e.VirtualSeconds, e.Phase, e.Partitions, e.Plan)
+	case core.PlanSwitched:
+		fmt.Printf("[%8.3fs] plan switch: cand %.3g + stitch %.3g < %.3g remaining\n             %s\n          -> %s\n",
+			e.VirtualSeconds, e.CandidateCost, e.StitchPenalty, e.CurrentRemaining, e.From, e.To)
+	case core.StitchUpStarted:
+		fmt.Printf("[%8.3fs] stitch-up over %d phases\n", e.VirtualSeconds, e.Phases)
+	case core.PartitionStats:
+		fmt.Printf("[%8.3fs] phase %d partition seconds: %v\n", e.VirtualSeconds, e.Phase, e.Seconds)
+	case core.RowsDelivered:
+		fmt.Printf("[%8.3fs] %d rows delivered\n", e.VirtualSeconds, e.Rows)
+	case core.SourceStalled:
+		fmt.Printf("[%8.3fs] source %s stalled %.3fs at tuple %d\n", e.VirtualSeconds, e.Source, e.Seconds, e.Tuple)
+	case core.SourceRetried:
+		fmt.Printf("[%8.3fs] source %s retry %d at tuple %d (backoff %.3fs)\n", e.VirtualSeconds, e.Source, e.Attempt, e.Tuple, e.Backoff)
+	case core.SourceFailedOver:
+		fmt.Printf("[%8.3fs] source %s failed over to mirror at tuple %d\n", e.VirtualSeconds, e.Source, e.Tuple)
+	case core.SourceAbandoned:
+		fmt.Printf("[%8.3fs] source %s ABANDONED at tuple %d (partial=%v): %v\n", e.VirtualSeconds, e.Source, e.Tuple, e.Partial, e.Err)
+	case core.MaintenanceStarted:
+		fmt.Printf("[%8.3fs] maintenance started over deltas: %v\n", e.VirtualSeconds, e.Relations)
+	case core.UpdateWatermark:
+		fmt.Printf("[%8.3fs] watermark seq %d: %d updates (%d delta rows so far)\n", e.VirtualSeconds, e.Seq, e.Updates, e.DeltaRows)
+	}
+}
+
 // runStreaming consumes the streaming cursor: the event subscription
 // prints adaptive-execution progress as it happens, and rows are counted
 // (and a prefix echoed) as they arrive — before the run completes.
@@ -198,27 +235,7 @@ func runStreaming(eng *engine.Engine, q *algebra.Query, o core.Options, limit in
 	go func() {
 		defer close(eventsDone)
 		for ev := range events {
-			switch e := ev.(type) {
-			case core.PhaseStarted:
-				fmt.Printf("[%8.3fs] phase %d started (P=%d): %s\n", e.VirtualSeconds, e.Phase, e.Partitions, e.Plan)
-			case core.PlanSwitched:
-				fmt.Printf("[%8.3fs] plan switch: cand %.3g + stitch %.3g < %.3g remaining\n             %s\n          -> %s\n",
-					e.VirtualSeconds, e.CandidateCost, e.StitchPenalty, e.CurrentRemaining, e.From, e.To)
-			case core.StitchUpStarted:
-				fmt.Printf("[%8.3fs] stitch-up over %d phases\n", e.VirtualSeconds, e.Phases)
-			case core.PartitionStats:
-				fmt.Printf("[%8.3fs] phase %d partition seconds: %v\n", e.VirtualSeconds, e.Phase, e.Seconds)
-			case core.RowsDelivered:
-				fmt.Printf("[%8.3fs] %d rows delivered\n", e.VirtualSeconds, e.Rows)
-			case core.SourceStalled:
-				fmt.Printf("[%8.3fs] source %s stalled %.3fs at tuple %d\n", e.VirtualSeconds, e.Source, e.Seconds, e.Tuple)
-			case core.SourceRetried:
-				fmt.Printf("[%8.3fs] source %s retry %d at tuple %d (backoff %.3fs)\n", e.VirtualSeconds, e.Source, e.Attempt, e.Tuple, e.Backoff)
-			case core.SourceFailedOver:
-				fmt.Printf("[%8.3fs] source %s failed over to mirror at tuple %d\n", e.VirtualSeconds, e.Source, e.Tuple)
-			case core.SourceAbandoned:
-				fmt.Printf("[%8.3fs] source %s ABANDONED at tuple %d (partial=%v): %v\n", e.VirtualSeconds, e.Source, e.Tuple, e.Partial, e.Err)
-			}
+			printEvent(ev)
 		}
 	}()
 	shown := 0
@@ -235,4 +252,113 @@ func runStreaming(eng *engine.Engine, q *algebra.Query, o core.Options, limit in
 	rep, err := s.Report()
 	<-eventsDone // event channel closes once the finished log is drained
 	return rep, err
+}
+
+// standingScript builds a deterministic churn script against the
+// query's largest relation: odd positions re-insert a random existing
+// row (bumping its multiplicity), even positions retract one — a
+// retraction of an already-deleted row exercises the ingress clamp.
+func standingScript(eng *engine.Engine, q *algebra.Query, seed int64, deltaN int) (string, []source.Delta, error) {
+	target, n := "", 0
+	var rows []types.Tuple
+	for _, name := range q.RelationNames() {
+		if rel, ok := eng.Relation(name); ok && rel.Len() > n {
+			target, n = name, rel.Len()
+			rows = rel.Rows
+		}
+	}
+	if target == "" {
+		return "", nil, fmt.Errorf("-standing: no registered relation in query")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	script := make([]source.Delta, 0, deltaN)
+	at := 0.0
+	for i := 0; i < deltaN; i++ {
+		at += 0.01
+		row := rows[rng.Intn(n)].Clone()
+		sign := 1
+		if i%2 == 1 {
+			sign = -1
+		}
+		script = append(script, source.Delta{Row: row, Sign: sign, At: at})
+	}
+	return target, script, nil
+}
+
+// runStanding registers the query as a standing view, feeds it the
+// seeded delta script, and narrates signed revision updates and
+// watermark windows as maintenance emits them, finishing with the
+// maintained view and its delta accounting.
+func runStanding(eng *engine.Engine, q *algebra.Query, o core.Options, limit int, seed int64, deltaN int) error {
+	target, script, err := standingScript(eng, q, seed, deltaN)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("standing %s: %d deltas into %s\n", q.Name, len(script), target)
+	sq, err := eng.RegisterStanding(context.Background(), q,
+		map[string][]source.Delta{target: script}, engine.WithOptions(o))
+	if err != nil {
+		return err
+	}
+	defer sq.Close()
+	events := sq.Events()
+	eventsDone := make(chan struct{})
+	go func() {
+		defer close(eventsDone)
+		for ev := range events {
+			printEvent(ev)
+		}
+	}()
+	// The baseline window (seq 0) asserts the initial result itself, so
+	// the row cursor is redundant here; drain it in the background.
+	// Report touches the cursor too, so wait for the drain before it.
+	rowsDone := make(chan struct{})
+	go func() {
+		defer close(rowsDone)
+		for _, rerr := range sq.Rows() {
+			_ = rerr
+		}
+	}()
+	shown := 0
+	for {
+		win, ok := sq.NextWindow()
+		if !ok {
+			break
+		}
+		for _, u := range win.Updates {
+			if shown >= limit {
+				continue
+			}
+			sign := "+"
+			if u.Sign < 0 {
+				sign = "-"
+			}
+			fmt.Printf("  %s %s  (seq %d)\n", sign, u.Row, win.Watermark.Seq)
+			shown++
+		}
+	}
+	<-rowsDone
+	rep, err := sq.Report()
+	<-eventsDone
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%s standing view — %d maintained rows\n", q.Name, len(rep.Maintained))
+	fmt.Print(engine.FormatRows(rep.Schema, rep.Maintained, limit))
+	fmt.Printf("\nmaintenance report:\n")
+	fmt.Printf("  virtual time   %.3fs (cpu %.3fs, wall %.3fs)\n",
+		rep.VirtualSeconds, rep.CPUSeconds, rep.RealSeconds)
+	fmt.Printf("  updates        %d revisions over %d delta rows (%d clamped)\n",
+		len(rep.Updates), rep.DeltaRows, rep.DeltaClamped)
+	fmt.Printf("  plan switches  %d initial, %d during maintenance\n", rep.Switches, rep.MaintSwitches)
+	for name, st := range rep.SourceFaults {
+		fmt.Printf("  faults[%s]  transients %d, stalls %d (%.3fs), retries %d (%.3fs backoff)",
+			name, st.Transients, st.Stalls, st.StallSeconds, st.Retries, st.BackoffSeconds)
+		if st.FailedOver {
+			fmt.Print(", failed over to mirror")
+		}
+		fmt.Println()
+	}
+	return nil
 }

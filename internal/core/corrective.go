@@ -7,6 +7,7 @@ import (
 
 	"github.com/tukwila/adp/internal/algebra"
 	"github.com/tukwila/adp/internal/exec"
+	"github.com/tukwila/adp/internal/ivm"
 	"github.com/tukwila/adp/internal/opt"
 	"github.com/tukwila/adp/internal/source"
 	"github.com/tukwila/adp/internal/state"
@@ -195,6 +196,19 @@ type Report struct {
 	// Leaf instrumentation outcomes (when Options.Instrument).
 	Histograms map[string]*stats.Histogram
 	Orders     map[string]*stats.OrderDetector
+
+	// Maintenance outcome (RunMaintenance only). Updates is the full
+	// signed update stream in emission order: the baseline assertions of
+	// the initial result followed by every watermark's revisions.
+	// Maintained is ivm.Fold(Updates).Rows() — the maintained result in
+	// canonical sorted-multiset form. DeltaRows counts delta-source rows
+	// read; DeltaClamped counts deletes dropped for matching no live
+	// row; MaintSwitches counts mid-maintenance plan switches.
+	Updates       []ivm.Update
+	Maintained    []types.Tuple
+	DeltaRows     int64
+	DeltaClamped  int64
+	MaintSwitches int
 }
 
 // executor carries one run's state.
@@ -254,16 +268,32 @@ func Run(cat *Catalog, q *algebra.Query, o Options) (*Report, error) {
 // with hooks produces byte-identical rows, counters, and clocks to one
 // without.
 func RunStream(ctx context.Context, cat *Catalog, q *algebra.Query, o Options, hooks RunHooks) (*Report, error) {
+	ex, finish, err := prepareRun(ctx, cat, q, o, hooks)
+	if err != nil {
+		return nil, err
+	}
+	if err := ex.execute(); err != nil {
+		return nil, err
+	}
+	return finish()
+}
+
+// prepareRun validates the query against the catalog and assembles the
+// run's executor plus its finish step. Splitting preparation, execution
+// (ex.execute), and finalization lets RunMaintenance interpose the
+// delta-pump stage between the initial run and the final report while
+// sharing every line of the setup and teardown with RunStream.
+func prepareRun(ctx context.Context, cat *Catalog, q *algebra.Query, o Options, hooks RunHooks) (*executor, func() (*Report, error), error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	o.defaults()
 	if err := q.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, r := range q.Relations {
 		if _, ok := cat.Providers[r.Name]; !ok {
-			return nil, fmt.Errorf("core: catalog has no source %q", r.Name)
+			return nil, nil, fmt.Errorf("core: catalog has no source %q", r.Name)
 		}
 	}
 	elapsed := reportTimer()
@@ -303,45 +333,46 @@ func RunStream(ctx context.Context, cat *Catalog, q *algebra.Query, o Options, h
 	if len(q.Aggs) > 0 || len(q.GroupBy) > 0 {
 		agg, err := exec.NewAggTable(ex.ctx, ex.fullSchema, q.GroupBy, q.Aggs)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		ex.agg = agg
 		ex.outSchema = agg.Schema()
 	} else if len(q.Project) > 0 {
 		s, err := ex.fullSchema.Project(q.Project)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		ex.outSchema = s
 	} else {
 		ex.outSchema = ex.fullSchema
 	}
 
-	var err error
-	if o.Strategy == PlanPartition {
+	finish := func() (*Report, error) {
+		if ex.agg != nil {
+			ex.rep.Rows = ex.agg.EmitFinal()
+		} else {
+			ex.rep.Rows = ex.spjRows
+		}
+		ex.rep.Schema = ex.outSchema
+		ex.rep.VirtualSeconds = ex.ctx.Clock.Now
+		ex.rep.CPUSeconds = ex.ctx.Clock.CPU
+		ex.rep.RealSeconds = elapsed()
+		ex.snapshotSourceFaults()
+		ex.flushFinal()
+		return ex.rep, nil
+	}
+	return ex, finish, nil
+}
+
+// execute runs the initial (full) pass under the selected strategy.
+func (ex *executor) execute() error {
+	if ex.o.Strategy == PlanPartition {
 		// runPlanPartition announces the schema itself: stage-2
 		// re-optimization renames columns, reshaping the output.
-		err = ex.runPlanPartition()
-	} else {
-		ex.announceSchema(ex.outSchema)
-		err = ex.runPhased()
+		return ex.runPlanPartition()
 	}
-	if err != nil {
-		return nil, err
-	}
-
-	if ex.agg != nil {
-		ex.rep.Rows = ex.agg.EmitFinal()
-	} else {
-		ex.rep.Rows = ex.spjRows
-	}
-	ex.rep.Schema = ex.outSchema
-	ex.rep.VirtualSeconds = ex.ctx.Clock.Now
-	ex.rep.CPUSeconds = ex.ctx.Clock.CPU
-	ex.rep.RealSeconds = elapsed()
-	ex.snapshotSourceFaults()
-	ex.flushFinal()
-	return ex.rep, nil
+	ex.announceSchema(ex.outSchema)
+	return ex.runPhased()
 }
 
 // snapshotSourceFaults copies each faulty provider's final recovery

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"github.com/tukwila/adp/internal/ivm"
 	"github.com/tukwila/adp/internal/types"
 )
 
@@ -175,6 +176,37 @@ type SourceAbandoned struct {
 
 func (SourceAbandoned) event() {}
 
+// MaintenanceStarted marks the transition from the initial run to the
+// maintenance stage of a standing query: the initial result is complete
+// and the delta streams are about to be pumped.
+type MaintenanceStarted struct {
+	// Relations names the relations with registered delta streams.
+	Relations []string
+	// VirtualSeconds is the clock reading when maintenance began.
+	VirtualSeconds float64
+}
+
+func (MaintenanceStarted) event() {}
+
+// UpdateWatermark is the maintenance counterpart of RowsDelivered: a
+// consistency point at which the update stream delivered so far folds to
+// an exact query result over the bases as of this point. Seq 0 is the
+// baseline watermark (the initial result as assertions, emitted even
+// when empty); subsequent watermarks fire at maintenance poll
+// boundaries whenever revisions were produced.
+type UpdateWatermark struct {
+	// Seq numbers the watermark, starting at 0 (the baseline).
+	Seq int
+	// Updates is the number of updates flushed by this watermark.
+	Updates int
+	// DeltaRows is the cumulative delta-source row count consumed.
+	DeltaRows int64
+	// VirtualSeconds is the clock reading at the flush.
+	VirtualSeconds float64
+}
+
+func (UpdateWatermark) event() {}
+
 // RunHooks observe a streaming run. All hooks are optional (nil = off)
 // and are invoked synchronously on the run's goroutine, in execution
 // order; they must not call back into the run.
@@ -190,6 +222,14 @@ type RunHooks struct {
 	// OnRows call. (Under plan partitioning the schema is announced after
 	// stage-2 re-optimization, whose column renames shape the output.)
 	OnSchema func(s *types.Schema)
+	// OnUpdates receives each flushed standing-query watermark window
+	// with its updates, in emission order (RunMaintenance only), invoked
+	// just before the matching UpdateWatermark event. Each call's slice
+	// is a sub-slice of the final Report.Updates: updates are retained
+	// and immutable, every update is delivered exactly once, and the
+	// concatenation of all calls equals Report.Updates. The baseline
+	// window (Seq 0) is delivered even when empty.
+	OnUpdates func(wm UpdateWatermark, updates []ivm.Update)
 }
 
 // emit sends an event to the Emit hook, if any.

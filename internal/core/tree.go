@@ -45,6 +45,12 @@ type Tree struct {
 	// over EntryBatch by the source driver). The batch must not be
 	// retained by the plan.
 	EntryCol map[string]func(*types.ColBatch)
+	// EntryDelta maps base relation name -> signed push function (set
+	// when the entry operator accepts delta batches; the maintenance
+	// driver feeds warm-up replays and live deltas through it). Signed
+	// traffic is inherently columnar, so this is wired regardless of the
+	// disableColumnar test hook.
+	EntryDelta map[string]func(*types.ColBatch, int)
 	// Joins lists join nodes bottom-up.
 	Joins []*TreeJoin
 	// PreAggWindow is the adjustable-window pre-aggregation operator if
@@ -93,6 +99,7 @@ func Lower(ctx *exec.Context, plan algebra.Plan, out exec.Sink) (*Tree, error) {
 		Entry:      map[string]func(types.Tuple){},
 		EntryBatch: map[string]func([]types.Tuple){},
 		EntryCol:   map[string]func(*types.ColBatch){},
+		EntryDelta: map[string]func(*types.ColBatch, int){},
 		RootSchema: plan.Schema(),
 	}
 	if err := t.build(plan, out); err != nil {
@@ -108,6 +115,7 @@ type teeSink struct {
 	buf *state.List
 	out exec.Sink
 	cr  exec.ColRows
+	dfw exec.DeltaForward
 }
 
 // Push implements exec.Sink.
@@ -138,6 +146,18 @@ func (s *teeSink) PushColBatch(b *types.ColBatch) {
 	exec.PushAll(s.out, rows)
 }
 
+// PushDelta implements exec.DeltaSink: signed maintenance traffic
+// forwards downstream without touching the stitch-up buffer — a
+// maintenance rebuild always re-warms join state from the base logs
+// rather than reusing materialized intermediates, and signed rows have
+// no place in an unsigned buffer.
+func (s *teeSink) PushDelta(b *types.ColBatch, sign int) {
+	if b.Len() == 0 {
+		return
+	}
+	s.dfw.Forward(s.out, b, sign)
+}
+
 func (t *Tree) build(p algebra.Plan, out exec.Sink) error {
 	switch v := p.(type) {
 	case *algebra.ScanPlan:
@@ -151,6 +171,14 @@ func (t *Tree) build(p algebra.Plan, out exec.Sink) error {
 		}
 		if cs, ok := out.(exec.ColBatchSink); ok && !disableColumnar {
 			t.EntryCol[name] = cs.PushColBatch
+		}
+		if ds, ok := out.(exec.DeltaSink); ok {
+			// Lazy: partitioned lowerings construct Tree literals without
+			// the maintenance entry map (their clones never serve deltas).
+			if t.EntryDelta == nil {
+				t.EntryDelta = map[string]func(*types.ColBatch, int){}
+			}
+			t.EntryDelta[name] = ds.PushDelta
 		}
 		return nil
 

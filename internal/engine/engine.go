@@ -28,6 +28,10 @@ type Engine struct {
 	// faults holds injected fault schedules per relation (chaos testing
 	// and the fault-tolerance demos); nil entries mean fault-free.
 	faults map[string]*source.FaultSchedule
+	// deltaFaults holds injected fault schedules per relation's delta
+	// stream (standing-query chaos testing); keyed by base relation name,
+	// independent of the base read's schedule in faults.
+	deltaFaults map[string]*source.FaultSchedule
 }
 
 // New creates an empty engine.

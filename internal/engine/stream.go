@@ -129,6 +129,13 @@ const streamRowBuffer = 16
 type Stream struct {
 	cancel context.CancelFunc
 
+	// runFn is the execution entry point driven on the background
+	// goroutine. Engine.Stream installs core.RunStream; the standing-query
+	// layer installs a closure over core.RunMaintenance. The hooks passed
+	// in carry the stream's event/schema/row plumbing; the runner may add
+	// its own hooks (OnUpdates) before dispatching.
+	runFn func(context.Context, *core.Catalog, *algebra.Query, core.Options, core.RunHooks) (*core.Report, error)
+
 	rowsCh chan []types.Tuple
 	cur    []types.Tuple
 	curIdx int
@@ -167,6 +174,14 @@ func (e *Engine) Stream(ctx context.Context, q *algebra.Query, opts ...Option) (
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	o := e.buildOptions(opts)
+	cat := e.catalog(o)
+	return startStream(ctx, cat, q, o, core.RunStream), nil
+}
+
+// buildOptions folds functional options into a core.Options value,
+// defaulting Known to the engine-level cardinality advertisements.
+func (e *Engine) buildOptions(opts []Option) core.Options {
 	var o core.Options
 	for _, f := range opts {
 		if f != nil {
@@ -179,10 +194,17 @@ func (e *Engine) Stream(ctx context.Context, q *algebra.Query, opts ...Option) (
 			o.Known[k] = v
 		}
 	}
-	cat := e.catalog(o)
+	return o
+}
+
+// startStream spins up the background run goroutine behind a cursor; the
+// caller has already validated the query and assembled catalog + options.
+func startStream(ctx context.Context, cat *core.Catalog, q *algebra.Query, o core.Options,
+	runFn func(context.Context, *core.Catalog, *algebra.Query, core.Options, core.RunHooks) (*core.Report, error)) *Stream {
 	runCtx, cancel := context.WithCancel(ctx)
 	s := &Stream{
 		cancel:      cancel,
+		runFn:       runFn,
 		rowsCh:      make(chan []types.Tuple, streamRowBuffer),
 		schemaReady: make(chan struct{}),
 		done:        make(chan struct{}),
@@ -190,7 +212,7 @@ func (e *Engine) Stream(ctx context.Context, q *algebra.Query, opts ...Option) (
 	}
 	s.evCond = sync.NewCond(&s.mu)
 	go s.run(runCtx, cat, q, o)
-	return s, nil
+	return s
 }
 
 // run executes the query on the stream's background goroutine.
@@ -210,7 +232,7 @@ func (s *Stream) run(ctx context.Context, cat *core.Catalog, q *algebra.Query, o
 			}
 		},
 	}
-	rep, err := core.RunStream(ctx, cat, q, o, hooks)
+	rep, err := s.runFn(ctx, cat, q, o, hooks)
 	s.rep, s.err = rep, err
 
 	s.mu.Lock()

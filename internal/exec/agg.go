@@ -127,6 +127,7 @@ func loadPartial(kind algebra.AggKind, t types.Tuple, col int) (aggState, int) {
 type aggGroup struct {
 	groupVals []types.Value
 	states    []aggState
+	m         *groupMaint // maintenance-mode state; nil otherwise
 }
 
 // AggTable is the hash-based aggregation state structure shared across ADP
@@ -162,7 +163,17 @@ type AggTable struct {
 	// (COUNT-only tables skip row materialization on the columnar path).
 	hasArgs bool
 	// emitBuf is the reused columnar delivery batch of EmitPartialTo.
-	emitBuf  *types.ColBatch
+	emitBuf *types.ColBatch
+
+	// Maintenance (signed) mode: dirty lists the groups touched since
+	// the last EmitRevisions, bagScratch is the reused min/max bag key
+	// buffer, revBuf the reused revision delivery batch. See aggdelta.go.
+	maint      bool
+	hasMinMax  bool
+	dirty      []*aggGroup
+	bagScratch []byte
+	revBuf     *types.ColBatch
+
 	counters stats.OpCounters
 }
 
@@ -230,6 +241,12 @@ func (a *AggTable) groupForHashed(hash uint64, vals []types.Value) *aggGroup {
 	owned := make([]types.Value, len(vals))
 	copy(owned, vals)
 	g := &aggGroup{groupVals: owned, states: make([]aggState, len(a.aggs))}
+	if a.maint {
+		g.m = &groupMaint{hash: hash}
+		if a.hasMinMax {
+			g.m.bags = make([]valueBag, len(a.aggs))
+		}
+	}
 	a.groups[hash] = append(a.groups[hash], g)
 	a.nGroups++
 	return g
@@ -257,6 +274,12 @@ func (a *AggTable) groupScratch(n int) []types.Value {
 //
 //adp:hotpath gated by BenchmarkAggTableAbsorb (scripts/check_allocs.sh)
 func (a *AggTable) AbsorbRaw(t types.Tuple) {
+	if a.maint {
+		// Maintenance groups carry weights and value bags that plain
+		// accumulation would not update; an unsigned absorb is an insert.
+		a.absorbSigned(t, 1)
+		return
+	}
 	a.counters.In++
 	a.ctx.Clock.Charge(a.ctx.Cost.AggUpdate)
 	vals := a.groupScratch(len(a.groupIdx))

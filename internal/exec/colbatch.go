@@ -302,6 +302,11 @@ func (a *AggTable) PushColBatch(b *types.ColBatch) {
 	if n == 0 {
 		return
 	}
+	if a.maint {
+		// Maintenance mode: unsigned columnar input is an insert batch.
+		a.PushDelta(b, 1)
+		return
+	}
 	a.hashVec = types.HashKeys(a.hashVec, b, a.groupIdx)
 	w := b.Width()
 	if cap(a.rowView) < w {

@@ -98,6 +98,17 @@ type HashJoin struct {
 	hits      hitEmitter
 	leftWidth int
 
+	// Delta-maintenance state (standing queries): deletes build into
+	// lazily created negative tables — the z-set representation, where a
+	// side's effective multiset is its main state minus its negative
+	// state — and signed emits leave through sout, which bridges the
+	// columnar hit gatherer to the downstream DeltaSink.
+	negLeftHT    *state.HashTable
+	negRightHT   *state.HashTable
+	negLeftList  *state.List
+	negRightList *state.List
+	sout         *signedOut
+
 	counters stats.OpCounters
 }
 
@@ -436,6 +447,7 @@ type Filter struct {
 	colScratch *types.ColBatch
 	rowView    types.Tuple
 	del        colDelivery
+	dfw        DeltaForward
 }
 
 // NewFilter builds a filter node.
@@ -486,6 +498,7 @@ type Project struct {
 	// delivery machinery.
 	colScratch *types.ColBatch
 	del        colDelivery
+	dfw        DeltaForward
 }
 
 // NewProject builds a projection node from an adapter.
@@ -527,6 +540,7 @@ type Combine struct {
 	out      Sink
 	counters stats.OpCounters
 	del      colDelivery
+	dfw      DeltaForward
 }
 
 // NewCombine builds a combine node.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/tukwila/adp/internal/algebra"
+	"github.com/tukwila/adp/internal/expr"
 	"github.com/tukwila/adp/internal/types"
 )
 
@@ -202,6 +203,59 @@ func BenchmarkAggTableAbsorb(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		agg.AbsorbRaw(rows[i&(1<<14-1)])
 	}
+}
+
+// BenchmarkDeltaPropagation tracks the standing-query maintenance hot
+// paths (PR 10): the z-set join re-probe (a signed batch builds into
+// its side's delta state and probes the opposite side's live + negative
+// tables) and the signed aggregate revision cycle (PushDelta absorb +
+// EmitRevisionsTo retraction/assertion frames). Both alternate signs so
+// assertion and retraction orderings are exercised every pair of
+// batches. Budgets in scripts/check_allocs.sh: <= 2 allocs/op each,
+// an op being one delta row.
+func BenchmarkDeltaPropagation(b *testing.B) {
+	const batch = 64
+	b.Run("join", func(b *testing.B) {
+		dom := int64(max(b.N/4, 4))
+		lbs := toColBatches(randTuples(b.N, dom, 7, rRow), batch)
+		rbs := toColBatches(randTuples(b.N, dom, 8, sRow), batch)
+		j := NewHashJoin(NewContext(), Pipelined, rSchema, sSchema, []int{0}, []int{0}, Discard)
+		b.ReportAllocs()
+		b.ResetTimer()
+		sign := 1
+		for i := range lbs {
+			j.PushDeltaLeft(lbs[i], sign)
+			j.PushDeltaRight(rbs[i], sign)
+			sign = -sign
+		}
+	})
+	b.Run("agg", func(b *testing.B) {
+		bs := toColBatches(randTuples(1<<12, 512, 9, rRow), batch)
+		agg, err := NewAggTable(NewContext(), rSchema, []string{"r.k"},
+			[]algebra.AggSpec{
+				{Kind: algebra.AggSum, Arg: expr.Column("r.a"), As: "sm"},
+				{Kind: algebra.AggCount, As: "n"},
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		agg.EnableMaintenance()
+		sink := discardSink{}
+		// Warm every group so the steady state revises rather than creates.
+		for _, cb := range bs {
+			agg.PushDelta(cb, 1)
+		}
+		agg.EmitRevisionsTo(sink)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += 2 * batch {
+			cb := bs[(i/(2*batch))%len(bs)]
+			agg.PushDelta(cb, 1)
+			agg.EmitRevisionsTo(sink)
+			agg.PushDelta(cb, -1)
+			agg.EmitRevisionsTo(sink)
+		}
+	})
 }
 
 // BenchmarkPipelineSegmentPush pushes batches through Filter → Join →

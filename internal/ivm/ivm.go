@@ -1,0 +1,171 @@
+// Package ivm holds the shared vocabulary of incremental view
+// maintenance: signed result updates, the multiset algebra that folds
+// them, and the base-relation tracker that clamps deletes. It depends
+// only on the types layer so every other layer — exec operators, the
+// core maintenance driver, the engine API, the HTTP server — can speak
+// it without import cycles.
+//
+// The central contract is *fold consistency*: folding a standing
+// query's update stream into an empty multiset always yields exactly
+// the maintained result. Retractions are emitted as the precise tuples
+// asserted earlier, so folding by strict row identity never strands a
+// negative count.
+package ivm
+
+import (
+	"sort"
+
+	"github.com/tukwila/adp/internal/types"
+)
+
+// Update is one signed change to a standing query's result: Sign +1
+// asserts one occurrence of Row, -1 retracts one.
+type Update struct {
+	Row  types.Tuple
+	Sign int
+}
+
+// Multiset is a fold target for signed rows keyed by the canonical byte
+// codec (strict identity: Int(1), Float(1), Str("1") stay distinct).
+type Multiset struct {
+	counts map[string]*msEntry
+	keyBuf []byte
+}
+
+type msEntry struct {
+	row types.Tuple
+	cnt int64
+}
+
+// NewMultiset returns an empty multiset.
+func NewMultiset() *Multiset {
+	return &Multiset{counts: make(map[string]*msEntry)}
+}
+
+// Add folds sign occurrences of row.
+func (m *Multiset) Add(row types.Tuple, sign int) {
+	m.keyBuf = types.AppendKeyAll(m.keyBuf[:0], row)
+	e := m.counts[string(m.keyBuf)]
+	if e == nil {
+		e = &msEntry{row: row.Clone()}
+		m.counts[string(m.keyBuf)] = e
+	}
+	e.cnt += int64(sign)
+}
+
+// Apply folds one update.
+func (m *Multiset) Apply(u Update) { m.Add(u.Row, u.Sign) }
+
+// Len returns the total multiplicity (sum of positive counts).
+func (m *Multiset) Len() int {
+	n := int64(0)
+	for _, e := range m.counts {
+		if e.cnt > 0 {
+			n += e.cnt
+		}
+	}
+	return int(n)
+}
+
+// Negative reports whether any row's folded count is below zero — a
+// retraction that never matched an assertion, i.e. a broken update
+// stream.
+func (m *Multiset) Negative() bool {
+	for _, e := range m.counts {
+		if e.cnt < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Rows expands the multiset into a key-sorted row list (each row
+// repeated by its count), the canonical form the oracle equivalence
+// pins compare byte-for-byte. Keys are sorted before expansion, so the
+// output is deterministic regardless of map iteration order.
+func (m *Multiset) Rows() []types.Tuple {
+	keys := make([]string, 0, len(m.counts))
+	for k, e := range m.counts {
+		if e.cnt > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]types.Tuple, 0, len(keys))
+	for _, k := range keys {
+		e := m.counts[k]
+		for i := int64(0); i < e.cnt; i++ {
+			out = append(out, e.row)
+		}
+	}
+	return out
+}
+
+// Fold builds a multiset from an update stream.
+func Fold(updates []Update) *Multiset {
+	m := NewMultiset()
+	for _, u := range updates {
+		m.Apply(u)
+	}
+	return m
+}
+
+// SortedRows clones and key-sorts a row list: the from-scratch side of
+// an oracle comparison, in the same canonical order Rows produces.
+func SortedRows(rows []types.Tuple) []types.Tuple {
+	out := make([]types.Tuple, len(rows))
+	copy(out, rows)
+	var ka, kb []byte
+	sort.SliceStable(out, func(i, j int) bool {
+		ka = types.AppendKeyAll(ka[:0], out[i])
+		kb = types.AppendKeyAll(kb[:0], out[j])
+		return string(ka) < string(kb)
+	})
+	return out
+}
+
+// BaseTracker tracks one base relation's live multiset so the
+// maintenance driver can clamp deletes: a delete of a row with no live
+// occurrence is dropped before it reaches the operator tree, which
+// keeps the z-set join state an exact multiset difference.
+type BaseTracker struct {
+	counts map[string]int64
+	keyBuf []byte
+}
+
+// NewBaseTracker returns an empty tracker.
+func NewBaseTracker() *BaseTracker {
+	return &BaseTracker{counts: make(map[string]int64)}
+}
+
+// Add records one live occurrence of row.
+func (t *BaseTracker) Add(row types.Tuple) {
+	t.keyBuf = types.AppendKeyAll(t.keyBuf[:0], row)
+	t.counts[string(t.keyBuf)]++
+}
+
+// Remove drops one occurrence of row, reporting whether one was live.
+// A false return is the clamp: the delete matched nothing and must not
+// propagate.
+func (t *BaseTracker) Remove(row types.Tuple) bool {
+	t.keyBuf = types.AppendKeyAll(t.keyBuf[:0], row)
+	c := t.counts[string(t.keyBuf)]
+	if c <= 0 {
+		return false
+	}
+	if c == 1 {
+		delete(t.counts, string(t.keyBuf))
+	} else {
+		t.counts[string(t.keyBuf)] = c - 1
+	}
+	return true
+}
+
+// Len returns the tracked live-row count.
+func (t *BaseTracker) Len() int {
+	n := int64(0)
+	for _, c := range t.counts {
+		n += c
+	}
+	return int(n)
+}

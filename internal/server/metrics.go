@@ -24,6 +24,8 @@ type metrics struct {
 	deadlinesExceeded   atomic.Int64 // adp_deadline_exceeded_total
 	budgetRowsExhausted atomic.Int64 // adp_row_budget_exhausted_total
 	firstRowMicros      atomic.Int64 // adp_query_first_row_micros (gauge: latest query)
+	standingInflight    atomic.Int64 // adp_standing_queries (gauge)
+	deltaRows           atomic.Int64 // adp_delta_rows_total
 }
 
 // metricPoint is one rendered sample.
@@ -50,6 +52,8 @@ func (m *metrics) write(w io.Writer, gauges []metricPoint) {
 		{"adp_deadline_exceeded_total", "Queries terminated by their execution deadline.", "counter", m.deadlinesExceeded.Load()},
 		{"adp_row_budget_exhausted_total", "Queries terminated by the per-query row budget.", "counter", m.budgetRowsExhausted.Load()},
 		{"adp_query_first_row_micros", "Time to first result row of the most recent row-producing query, in microseconds.", "gauge", m.firstRowMicros.Load()},
+		{"adp_standing_queries", "Standing queries currently executing maintenance.", "gauge", m.standingInflight.Load()},
+		{"adp_delta_rows_total", "Delta rows consumed by standing queries.", "counter", m.deltaRows.Load()},
 	}
 	points = append(points, gauges...)
 	sort.Slice(points, func(i, j int) bool { return points[i].name < points[j].name })

@@ -131,6 +131,7 @@ func New(eng *engine.Engine, cfg Config) *Server {
 		s.cache = engine.NewPlanCache(cfg.PlanCacheSize)
 	}
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/standing", s.handleStanding)
 	s.mux.HandleFunc("GET /v1/query/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -387,6 +388,227 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeFrame(reportFrame{Type: "report", Report: wireReport(rep, planCache)})
 }
 
+// handleStanding runs POST /v1/standing: admission, an initial run plus
+// incremental maintenance against the request's delta scripts, and an
+// NDJSON stream of signed update frames punctuated by watermark frames.
+// The baseline window (seq 0) asserts the initial result, so a client
+// folding update frames from empty always holds the maintained view.
+func (s *Server) handleStanding(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.met.queriesRejected.Add(1)
+		s.reject(w, WireError{Code: CodeDraining, HTTPStatus: http.StatusServiceUnavailable,
+			Message: "server is draining; not admitting new queries"})
+		return
+	}
+	var req StandingRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.reject(w, WireError{Code: CodeInvalidRequest, HTTPStatus: http.StatusBadRequest,
+			Message: "bad request body: " + err.Error()})
+		return
+	}
+	q, err := s.buildQuery(req.Query)
+	if err != nil {
+		s.reject(w, WireError{Code: CodeInvalidRequest, HTTPStatus: http.StatusBadRequest,
+			Message: err.Error()})
+		return
+	}
+	o, err := s.buildOptions(req.Options)
+	if err != nil {
+		s.reject(w, WireError{Code: CodeInvalidRequest, HTTPStatus: http.StatusBadRequest,
+			Message: err.Error()})
+		return
+	}
+	if o.Strategy == core.PlanPartition {
+		s.reject(w, WireError{Code: CodeInvalidRequest, HTTPStatus: http.StatusBadRequest,
+			Message: "strategy planpart cannot maintain a standing query (use static or corrective)"})
+		return
+	}
+	deltas, err := s.buildDeltas(req.Deltas)
+	if err != nil {
+		s.reject(w, WireError{Code: CodeInvalidRequest, HTTPStatus: http.StatusBadRequest,
+			Message: err.Error()})
+		return
+	}
+	deadline := time.Duration(req.Options.DeadlineMillis) * time.Millisecond
+	if deadline <= 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+	if s.cfg.MaxDeadline > 0 && deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+
+	if err := s.sched.acquire(r.Context()); err != nil {
+		s.met.queriesRejected.Add(1)
+		switch {
+		case errors.Is(err, errQueueFull):
+			s.reject(w, WireError{Code: CodeAdmissionRejected, HTTPStatus: http.StatusTooManyRequests,
+				Message: "execution slots busy and admission queue full"})
+		case errors.Is(err, errQueueTimeout):
+			s.reject(w, WireError{Code: CodeQueueTimeout, HTTPStatus: http.StatusServiceUnavailable,
+				Message: "timed out waiting for an execution slot"})
+		default:
+			s.reject(w, WireError{Code: CodeCanceled, HTTPStatus: 499, Message: err.Error()})
+		}
+		return
+	}
+	defer s.sched.release()
+	s.met.queriesTotal.Add(1)
+	s.met.standingInflight.Add(1)
+	defer s.met.standingInflight.Add(-1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+	sq, err := s.eng.RegisterStanding(ctx, q, deltas, engine.WithOptions(o))
+	if err != nil {
+		s.reject(w, WireError{Code: CodeInvalidRequest, HTTPStatus: http.StatusBadRequest,
+			Message: err.Error()})
+		return
+	}
+	closeQuery := true
+	defer func() {
+		if closeQuery {
+			sq.Close()
+		}
+	}()
+	// The initial result travels as the baseline update window, so the
+	// row cursor is pure backpressure here: drain it in the background.
+	// Report also touches the cursor, so the success path below waits on
+	// rowsDone first (the Close paths don't need to: Close never touches
+	// consumer-owned cursor state).
+	rowsDone := make(chan struct{})
+	go func() {
+		defer close(rowsDone)
+		for {
+			if _, ok := sq.Next(); !ok {
+				return
+			}
+		}
+	}()
+
+	id := fmt.Sprintf("q-%d", s.idSeq.Add(1))
+	rec := s.reg.add(id, q.Name, sq)
+	defer s.reg.markDone(rec)
+
+	schema := sq.Schema()
+	if schema == nil {
+		for {
+			if _, ok := sq.NextWindow(); !ok {
+				break
+			}
+		}
+		err := sq.Err()
+		if err == nil {
+			err = errors.New("standing query produced no schema")
+		}
+		s.met.queriesFailed.Add(1)
+		s.countTerminal(err)
+		s.reject(w, mapError(err, 0))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Adp-Query-Id", id)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	writeFrame := func(v any) {
+		b, merr := json.Marshal(v)
+		if merr != nil {
+			return
+		}
+		w.Write(append(b, '\n'))
+		flush()
+	}
+	writeFrame(schemaFrame{Type: "schema", ID: id, Query: q.Name, Columns: wireSchema(schema)})
+
+	// Update streaming: each watermark window writes its signed update
+	// frames (reused buffer, allocation-free encode) and closes with a
+	// watermark frame. The per-query row budget bounds update frames.
+	var (
+		updates int64
+		buf     = make([]byte, 0, 2*rowFlushBytes)
+		budget  = s.cfg.MaxRowsPerQuery
+		over    bool
+	)
+windows:
+	for {
+		win, ok := sq.NextWindow()
+		if !ok {
+			break
+		}
+		for _, u := range win.Updates {
+			buf = AppendUpdateFrame(buf, u.Row, u.Sign)
+			updates++
+			if len(buf) >= rowFlushBytes {
+				w.Write(buf)
+				flush()
+				buf = buf[:0]
+			}
+			if budget > 0 && updates >= budget {
+				over = true
+				break windows
+			}
+		}
+		buf = append(buf, mustJSON(watermarkFrame{
+			Type: "watermark", Seq: win.Watermark.Seq, Updates: win.Watermark.Updates,
+			DeltaRows: win.Watermark.DeltaRows, VirtualSeconds: win.Watermark.VirtualSeconds,
+		})...)
+		w.Write(buf)
+		flush()
+		buf = buf[:0]
+	}
+	if len(buf) > 0 {
+		w.Write(buf)
+	}
+	s.met.rowsDelivered.Add(updates)
+
+	if over {
+		sq.Close()
+		closeQuery = false
+		s.met.budgetRowsExhausted.Add(1)
+		s.met.queriesFailed.Add(1)
+		writeFrame(errorFrame{Type: "error", Error: WireError{
+			Code: CodeResourceExhausted, HTTPStatus: http.StatusTooManyRequests,
+			Message:       fmt.Sprintf("standing query exceeded the per-query row budget (%d update frames)", budget),
+			RowsDelivered: updates,
+		}})
+		return
+	}
+	if err := sq.Err(); err != nil {
+		closeQuery = false
+		sq.Close()
+		s.met.queriesFailed.Add(1)
+		s.countTerminal(err)
+		writeFrame(errorFrame{Type: "error", Error: mapError(err, updates)})
+		return
+	}
+	<-rowsDone // run is done (windows exhausted), so the drain exits promptly
+	rep, _ := sq.Report()
+	closeQuery = false // fully drained: no goroutines remain
+	s.met.planSwitches.Add(int64(rep.Switches + rep.MaintSwitches))
+	s.met.sourceFaults.Add(int64(len(rep.SourceFaults)))
+	s.met.deltaRows.Add(rep.DeltaRows)
+	if rep.Partial {
+		s.met.partialResults.Add(1)
+	}
+	writeFrame(reportFrame{Type: "report", Report: wireReport(rep, "")})
+}
+
+// mustJSON marshals a frame and appends the NDJSON newline; frames are
+// plain structs, so marshaling cannot fail.
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return []byte("{}\n")
+	}
+	return append(b, '\n')
+}
+
 // countTerminal bumps the per-cause failure counters.
 func (s *Server) countTerminal(err error) {
 	if errors.Is(err, context.DeadlineExceeded) {
@@ -486,20 +708,27 @@ type queryRegistry struct {
 	retain int
 }
 
+// eventSource is what the registry needs from a live run: a replayable
+// event subscription. Both *engine.Stream and *engine.StandingQuery
+// provide it.
+type eventSource interface {
+	Events() <-chan core.Event
+}
+
 type queryRecord struct {
 	id    string
 	query string
 
 	mu     sync.Mutex
-	stream *engine.Stream // nil once done
-	log    []core.Event   // snapshot once done
+	stream eventSource  // nil once done
+	log    []core.Event // snapshot once done
 }
 
 func newQueryRegistry(retain int) *queryRegistry {
 	return &queryRegistry{byID: map[string]*queryRecord{}, retain: retain}
 }
 
-func (r *queryRegistry) add(id, query string, st *engine.Stream) *queryRecord {
+func (r *queryRegistry) add(id, query string, st eventSource) *queryRecord {
 	rec := &queryRecord{id: id, query: query, stream: st}
 	r.mu.Lock()
 	r.byID[id] = rec

@@ -106,6 +106,98 @@ type RunOptions struct {
 	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
 }
 
+// StandingRequest is the body of POST /v1/standing: a query to run and
+// keep maintained, plus the signed delta scripts to maintain it against.
+type StandingRequest struct {
+	// Query specifies the standing view, exactly like POST /v1/query.
+	Query QuerySpec `json:"query"`
+	// Deltas maps registered relation names to their signed change
+	// scripts, applied in script order at the stamped virtual times.
+	// Relations without an entry see no changes.
+	Deltas map[string][]DeltaSpec `json:"deltas"`
+	// Options tunes the run; strategy planpart is rejected (a standing
+	// query maintains one plan tree). poll_every also sets the
+	// update-watermark cadence in delta rows.
+	Options RunOptions `json:"options,omitempty"`
+}
+
+// DeltaSpec is one signed change: sign +1 inserts the row, -1 deletes
+// it, at virtual time at (seconds). Row values follow the relation's
+// column kinds (JSON numbers for int/float columns, strings for string
+// columns, null for NULL).
+type DeltaSpec struct {
+	At   float64           `json:"at"`
+	Sign int               `json:"sign"`
+	Row  []json.RawMessage `json:"row"`
+}
+
+// buildDeltas resolves wire delta scripts against the engine's relation
+// schemas into source scripts.
+func (s *Server) buildDeltas(specs map[string][]DeltaSpec) (map[string][]source.Delta, error) {
+	out := make(map[string][]source.Delta, len(specs))
+	for name, script := range specs {
+		rel, ok := s.eng.Relation(name)
+		if !ok {
+			return nil, fmt.Errorf("deltas for unknown relation %q", name)
+		}
+		ds := make([]source.Delta, 0, len(script))
+		for i, d := range script {
+			if d.Sign != 1 && d.Sign != -1 {
+				return nil, fmt.Errorf("delta %d for %q: sign must be 1 or -1", i, name)
+			}
+			if len(d.Row) != rel.Schema.Len() {
+				return nil, fmt.Errorf("delta %d for %q: %d values, schema has %d columns",
+					i, name, len(d.Row), rel.Schema.Len())
+			}
+			row := make(types.Tuple, len(d.Row))
+			for j, raw := range d.Row {
+				v, err := valueForKind(raw, rel.Schema.Cols[j].Kind)
+				if err != nil {
+					return nil, fmt.Errorf("delta %d for %q, column %q: %w",
+						i, name, rel.Schema.Cols[j].Name, err)
+				}
+				row[j] = v
+			}
+			ds = append(ds, source.Delta{At: d.At, Sign: d.Sign, Row: row})
+		}
+		out[name] = ds
+	}
+	return out, nil
+}
+
+// valueForKind converts one JSON scalar to a typed column value.
+func valueForKind(raw json.RawMessage, k types.Kind) (types.Value, error) {
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return types.Value{}, fmt.Errorf("bad value: %w", err)
+	}
+	if v == nil {
+		return types.Null(), nil
+	}
+	switch k {
+	case types.KindInt:
+		x, ok := v.(float64)
+		if !ok || x != math.Trunc(x) || math.Abs(x) >= 1<<53 {
+			return types.Value{}, fmt.Errorf("want an integer, got %s", raw)
+		}
+		return types.Int(int64(x)), nil
+	case types.KindFloat:
+		x, ok := v.(float64)
+		if !ok {
+			return types.Value{}, fmt.Errorf("want a number, got %s", raw)
+		}
+		return types.Float(x), nil
+	case types.KindString:
+		x, ok := v.(string)
+		if !ok {
+			return types.Value{}, fmt.Errorf("want a string, got %s", raw)
+		}
+		return types.Str(x), nil
+	default:
+		return types.Value{}, fmt.Errorf("column kind %v not wire-typed", k)
+	}
+}
+
 // ---- Error envelope ------------------------------------------------------
 
 // Error codes of the wire protocol (docs/wire-protocol.md).
@@ -187,6 +279,17 @@ type errorBody struct {
 	Error WireError `json:"error"`
 }
 
+// watermarkFrame closes one update window on a standing-query stream:
+// all update frames since the previous watermark belong to this window.
+// Seq 0 is the baseline window asserting the initial result.
+type watermarkFrame struct {
+	Type           string  `json:"type"` // "watermark"
+	Seq            int     `json:"seq"`
+	Updates        int     `json:"updates"`
+	DeltaRows      int64   `json:"delta_rows"`
+	VirtualSeconds float64 `json:"virtual_seconds"`
+}
+
 // WireReport is the execution report as serialized in the terminal
 // report frame (Report.Rows travels as row frames, not here).
 type WireReport struct {
@@ -206,6 +309,12 @@ type WireReport struct {
 	Partial        bool                      `json:"partial,omitempty"`
 	PlanCache      string                    `json:"plan_cache,omitempty"` // hit | miss
 	SourceFaults   map[string]WireFaultStats `json:"source_faults,omitempty"`
+	// Standing-query fields (POST /v1/standing only).
+	Updates        int64 `json:"updates,omitempty"`
+	DeltaRows      int64 `json:"delta_rows,omitempty"`
+	DeltaClamped   int64 `json:"delta_clamped,omitempty"`
+	MaintainedRows int64 `json:"maintained_rows,omitempty"`
+	MaintSwitches  int   `json:"maint_switches,omitempty"`
 }
 
 // WirePhase is one executed phase inside a WireReport.
@@ -246,6 +355,11 @@ func wireReport(rep *core.Report, planCache string) WireReport {
 		Discarded:      rep.Discarded,
 		Partial:        rep.Partial,
 		PlanCache:      planCache,
+		Updates:        int64(len(rep.Updates)),
+		DeltaRows:      rep.DeltaRows,
+		DeltaClamped:   rep.DeltaClamped,
+		MaintainedRows: int64(len(rep.Maintained)),
+		MaintSwitches:  rep.MaintSwitches,
 	}
 	for _, p := range rep.Phases {
 		out.Phases = append(out.Phases, WirePhase{
@@ -287,6 +401,34 @@ const (
 //adp:hotpath gated by BenchmarkRowEncode (scripts/check_allocs.sh)
 func AppendRowFrame(dst []byte, t types.Tuple) []byte {
 	dst = append(dst, rowFramePrefix...)
+	dst = appendTupleValues(dst, t)
+	return append(dst, rowFrameSuffix...)
+}
+
+// updateFramePrefix opens a standing-query update frame; the sign and
+// the values array follow.
+const updateFramePrefix = `{"type":"update","sign":`
+
+// AppendUpdateFrame appends one NDJSON signed-update frame (newline
+// included) to dst — the standing-query counterpart of AppendRowFrame,
+// under the same zero-allocation contract.
+//
+//adp:hotpath gated by BenchmarkRowEncode (scripts/check_allocs.sh)
+func AppendUpdateFrame(dst []byte, t types.Tuple, sign int) []byte {
+	dst = append(dst, updateFramePrefix...)
+	if sign >= 0 {
+		dst = append(dst, '1')
+	} else {
+		dst = append(dst, '-', '1')
+	}
+	dst = append(dst, `,"values":[`...)
+	dst = appendTupleValues(dst, t)
+	return append(dst, rowFrameSuffix...)
+}
+
+// appendTupleValues appends a tuple's values as JSON array elements
+// (no brackets), allocation-free.
+func appendTupleValues(dst []byte, t types.Tuple) []byte {
 	for i, v := range t {
 		if i > 0 {
 			dst = append(dst, ',')
@@ -306,7 +448,7 @@ func AppendRowFrame(dst []byte, t types.Tuple) []byte {
 			dst = append(dst, "null"...)
 		}
 	}
-	return append(dst, rowFrameSuffix...)
+	return dst
 }
 
 // appendJSONString appends s as a JSON string literal: quotes and
@@ -638,6 +780,20 @@ func eventWire(ev core.Event) (string, []byte) {
 			Tuple  int    `json:"tuple"`
 			vs
 		}{e.Source, e.Tuple, vs{e.VirtualSeconds}}
+	case core.MaintenanceStarted:
+		name = "MaintenanceStarted"
+		payload = struct {
+			Relations []string `json:"relations"`
+			vs
+		}{e.Relations, vs{e.VirtualSeconds}}
+	case core.UpdateWatermark:
+		name = "UpdateWatermark"
+		payload = struct {
+			Seq       int   `json:"seq"`
+			Updates   int   `json:"updates"`
+			DeltaRows int64 `json:"delta_rows"`
+			vs
+		}{e.Seq, e.Updates, e.DeltaRows, vs{e.VirtualSeconds}}
 	case core.SourceAbandoned:
 		name = "SourceAbandoned"
 		errMsg := ""

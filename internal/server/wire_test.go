@@ -114,14 +114,16 @@ func docFixture() (*Server, *algebra.Query) {
 // round-trip test: the fence info string carries `wire:<kind>=<name>`
 // where kind is request (POST body), response (expected NDJSON frames),
 // error (expected non-2xx envelope, with status=NNN), or sse (expected
-// SSE replay of the preceding request's query).
+// SSE replay of the preceding request's query). Request fences may add
+// `endpoint=standing` to post against /v1/standing instead of /v1/query.
 type docBlock struct {
 	kind, name string
 	status     int
+	endpoint   string
 	text       string
 }
 
-var fenceRe = regexp.MustCompile("^```[a-z]*\\s+wire:(request|response|error|sse)=([a-z0-9-]+)(?:\\s+status=([0-9]+))?\\s*$")
+var fenceRe = regexp.MustCompile("^```[a-z]*\\s+wire:(request|response|error|sse)=([a-z0-9-]+)(?:\\s+status=([0-9]+))?(?:\\s+endpoint=([a-z]+))?\\s*$")
 
 func parseDocBlocks(t *testing.T, path string) []docBlock {
 	t.Helper()
@@ -146,9 +148,12 @@ func parseDocBlocks(t *testing.T, path string) []docBlock {
 			continue
 		}
 		if m := fenceRe.FindStringSubmatch(line); m != nil {
-			cur = &docBlock{kind: m[1], name: m[2]}
+			cur = &docBlock{kind: m[1], name: m[2], endpoint: "query"}
 			if m[3] != "" {
 				fmt.Sscanf(m[3], "%d", &cur.status)
+			}
+			if m[4] != "" {
+				cur.endpoint = m[4]
 			}
 		}
 	}
@@ -249,7 +254,7 @@ func TestWireProtocolDocExamples(t *testing.T) {
 	}
 
 	for _, req := range order {
-		resp, err := ts.Client().Post(ts.URL+"/v1/query", "application/json", strings.NewReader(req.text))
+		resp, err := ts.Client().Post(ts.URL+"/v1/"+req.endpoint, "application/json", strings.NewReader(req.text))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -328,7 +333,7 @@ func printDocExamples(t *testing.T, ts *httptest.Server, blocks []docBlock) {
 		if b.kind != "request" {
 			continue
 		}
-		resp, err := ts.Client().Post(ts.URL+"/v1/query", "application/json", strings.NewReader(b.text))
+		resp, err := ts.Client().Post(ts.URL+"/v1/"+b.endpoint, "application/json", strings.NewReader(b.text))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -50,6 +50,8 @@ check 'BenchmarkPartitionMergeRelease'           1  # PR 9: order-releasing root
 check 'BenchmarkStreamDelivery'                  2  # PR 5: cursor Next() per row, whole pipeline on the count
 check 'BenchmarkFaultyNext'                      1  # PR 6: fault wrapper no-fault fast path (1 = Reset headroom)
 check 'BenchmarkRowEncode'                       0  # PR 7: per-row NDJSON encode into a reused buffer
+check 'BenchmarkDeltaPropagation/join'           2  # PR 10: z-set join re-probe per signed delta row
+check 'BenchmarkDeltaPropagation/agg'            2  # PR 10: signed agg absorb + revision emit per delta row
 
 if [ "$fail" -ne 0 ]; then
   echo "check-allocs: allocation budgets regressed" >&2
